@@ -1,0 +1,171 @@
+//! One Criterion bench per paper figure: each measures the end-to-end
+//! runtime of a miniature (but shape-preserving) version of that
+//! figure's campaign, and asserts nothing — the *data* reproduction
+//! lives in the `repro` binary; these give regression-tracked timings
+//! for every experiment path.
+//!
+//! ```text
+//! cargo bench -p pama-bench --bench figures
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pama_bench::harness::{run_matrix, ScaledSetup, SchemeKind};
+use pama_trace::transform;
+use pama_trace::{PenaltyEstimator, Trace};
+use pama_util::SimDuration;
+use pama_workloads::burst::ColdBurst;
+use pama_workloads::dist::PenaltyModel;
+use pama_workloads::Preset;
+
+fn mini_etc() -> ScaledSetup {
+    ScaledSetup {
+        preset: Preset::Etc,
+        n_ranks: 30_000,
+        seed: 0xBE7C,
+        requests: 300_000,
+        cache_sizes: vec![8 << 20],
+        slab_bytes: 128 << 10,
+        window_gets: 50_000,
+    }
+}
+
+fn mini_app() -> ScaledSetup {
+    ScaledSetup {
+        preset: Preset::App,
+        n_ranks: 60_000,
+        seed: 0xBA44,
+        requests: 250_000,
+        cache_sizes: vec![32 << 20],
+        slab_bytes: 128 << 10,
+        window_gets: 50_000,
+    }
+}
+
+fn fig1_penalty_estimation(c: &mut Criterion) {
+    c.bench_function("fig1_penalty_estimation", |b| {
+        let trace = Preset::App.config(30_000, 1).generate(100_000);
+        b.iter(|| {
+            let mut est = PenaltyEstimator::new();
+            est.observe_trace(black_box(&trace));
+            black_box(est.finish().len())
+        })
+    });
+}
+
+fn fig3_4_allocation_series(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_4");
+    g.sample_size(10);
+    g.bench_function("alloc_series_4_schemes", |b| {
+        b.iter(|| {
+            let setup = mini_etc();
+            black_box(run_matrix(&setup, &SchemeKind::paper_set(), 1, |s| {
+                Box::new(s.workload().build().take(s.requests))
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn fig5_6_etc_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_6");
+    g.sample_size(10);
+    g.bench_function("etc_matrix", |b| {
+        b.iter(|| {
+            let setup = mini_etc();
+            black_box(run_matrix(&setup, &SchemeKind::paper_set(), 1, |s| {
+                Box::new(s.workload().build().take(s.requests))
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn fig7_8_app_repeat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_8");
+    g.sample_size(10);
+    g.bench_function("app_trace_x2", |b| {
+        b.iter(|| {
+            let setup = mini_app();
+            black_box(run_matrix(&setup, &SchemeKind::paper_set(), 1, |s| {
+                let t = s.workload().generate(s.requests);
+                Box::new(transform::repeat(&t, 2, SimDuration::ZERO).into_iter())
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn fig9_cold_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("burst_injection", |b| {
+        b.iter(|| {
+            let setup = mini_etc();
+            let burst = ColdBurst {
+                total_bytes: (8 << 20) / 4,
+                item_lo: 600,
+                item_hi: 4600,
+                key_size: 24,
+                penalty: PenaltyModel::Fixed(SimDuration::from_millis(8)),
+                seed: 9,
+                as_gets: true,
+            };
+            black_box(run_matrix(
+                &setup,
+                &[SchemeKind::PsaUnguarded, SchemeKind::Pama],
+                1,
+                move |s| {
+                    let base: Trace = s.workload().generate(s.requests);
+                    Box::new(burst.clone().inject(&base, s.requests / 20).into_iter())
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig10_m_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let schemes: Vec<SchemeKind> =
+        [0usize, 2, 4, 8].iter().map(|&m| SchemeKind::PamaM(m)).collect();
+    g.bench_function("m_sweep", |b| {
+        let schemes = schemes.clone();
+        b.iter(|| {
+            let setup = mini_etc();
+            black_box(run_matrix(&setup, &schemes, 1, |s| {
+                Box::new(s.workload().build().take(s.requests))
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn ablation_bloom_vs_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("bloom_vs_exact", |b| {
+        b.iter(|| {
+            let setup = mini_etc();
+            black_box(run_matrix(
+                &setup,
+                &[SchemeKind::Pama, SchemeKind::PamaBloom],
+                1,
+                |s| Box::new(s.workload().build().take(s.requests)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_penalty_estimation,
+    fig3_4_allocation_series,
+    fig5_6_etc_matrix,
+    fig7_8_app_repeat,
+    fig9_cold_burst,
+    fig10_m_sweep,
+    ablation_bloom_vs_exact
+);
+criterion_main!(figures);

@@ -1,0 +1,238 @@
+//! Component micro-benchmarks: the hot paths the simulator leans on.
+//!
+//! ```text
+//! cargo bench -p pama-bench --bench micro
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pama_bloom::{BloomFilter, CountingBloomFilter, SegmentedMembership};
+use pama_core::config::{CacheConfig, EngineConfig, Tick};
+use pama_core::engine::Engine;
+use pama_core::lru::LruList;
+use pama_core::policy::{MemcachedOriginal, Pama, Policy, Psa};
+use pama_core::reuse::ReuseTracker;
+use pama_util::{Rng, SplitMix64, Xoshiro256StarStar};
+use pama_workloads::zipf::{ZipfApprox, ZipfTable};
+use pama_workloads::Preset;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.throughput(Throughput::Elements(1));
+
+    let mut filter = BloomFilter::with_capacity(100_000, 0.01);
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..50_000 {
+        filter.insert(rng.next_u64());
+    }
+    let mut i = 0u64;
+    g.bench_function("standard_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37);
+            filter.insert(black_box(i));
+        })
+    });
+    g.bench_function("standard_query", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(filter.contains(black_box(i)))
+        })
+    });
+
+    let mut counting = CountingBloomFilter::with_capacity(100_000, 0.01);
+    g.bench_function("counting_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37);
+            counting.insert(black_box(i));
+        })
+    });
+
+    let mut seg = SegmentedMembership::new(3, 4096, 0.01);
+    seg.rebuild_all((0..3).map(|s| (0..4096u64).map(move |k| s * 10_000 + k)));
+    g.bench_function("segmented_query", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(seg.query(black_box(i % 30_000)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    g.throughput(Throughput::Elements(1));
+    let mut list = LruList::new();
+    let handles: Vec<_> = (0..100_000u64).map(|k| list.push_front(k)).collect();
+    let mut rng = SplitMix64::new(2);
+    g.bench_function("move_to_front_100k", |b| {
+        b.iter(|| {
+            let h = handles[(rng.next_u64() % handles.len() as u64) as usize];
+            list.move_to_front(black_box(h));
+        })
+    });
+    g.bench_function("push_pop", |b| {
+        b.iter(|| {
+            let h = list.push_front(black_box(7));
+            black_box(list.remove(h));
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    g.throughput(Throughput::Elements(1));
+    let table = ZipfTable::new(1_000_000, 1.0);
+    let approx = ZipfApprox::new(1_000_000, 1.0);
+    let mut rng = Xoshiro256StarStar::from_seed(3);
+    g.bench_function("table_1M", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    g.bench_function("approx_1M", |b| b.iter(|| black_box(approx.sample(&mut rng))));
+    let huge = ZipfApprox::new(1 << 40, 0.99);
+    g.bench_function("approx_2^40", |b| b.iter(|| black_box(huge.sample(&mut rng))));
+    g.finish();
+}
+
+fn bench_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reuse_tracker");
+    g.throughput(Throughput::Elements(1));
+    let mut t = ReuseTracker::new(1 << 16);
+    let zipf = ZipfApprox::new(20_000, 0.9);
+    let mut rng = Xoshiro256StarStar::from_seed(4);
+    g.bench_function("access_zipf20k", |b| {
+        b.iter(|| black_box(t.access(zipf.sample(&mut rng))))
+    });
+    g.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.throughput(Throughput::Elements(1));
+    let mut wl = Preset::Etc.config(100_000, 5).build();
+    g.bench_function("etc_next", |b| b.iter(|| black_box(wl.next())));
+    let mut app = Preset::App.config(100_000, 5).build();
+    g.bench_function("app_next", |b| b.iter(|| black_box(app.next())));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    let n = 200_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    let cache = CacheConfig {
+        total_bytes: 16 << 20,
+        slab_bytes: 256 << 10,
+        ..CacheConfig::default()
+    };
+    let run = |policy: Box<dyn Policy + Send>| {
+        let wl = Preset::Etc.config(60_000, 9);
+        let ecfg = EngineConfig { window_gets: 100_000, snapshot_allocations: false };
+        Engine::run_to_result(policy, ecfg, "bench", wl.build().take(n))
+    };
+    g.bench_function("memcached_200k", |b| {
+        b.iter(|| black_box(run(Box::new(MemcachedOriginal::new(cache.clone())))))
+    });
+    g.bench_function("psa_200k", |b| {
+        b.iter(|| black_box(run(Box::new(Psa::new(cache.clone())))))
+    });
+    g.bench_function("pama_200k", |b| {
+        b.iter(|| black_box(run(Box::new(Pama::new(cache.clone())))))
+    });
+    g.finish();
+}
+
+fn bench_policy_decision(c: &mut Criterion) {
+    // Steady-state per-request cost of PAMA once the cache is full —
+    // the number a production adopter cares about.
+    let mut g = c.benchmark_group("pama_request_cost");
+    g.throughput(Throughput::Elements(1));
+    let cache = CacheConfig {
+        total_bytes: 8 << 20,
+        slab_bytes: 128 << 10,
+        ..CacheConfig::default()
+    };
+    let mut p = Pama::new(cache);
+    let mut wl = Preset::Etc.config(60_000, 10).build();
+    // warm up
+    for _ in 0..400_000 {
+        let req = wl.next().unwrap();
+        let t = Tick { now: req.time, serial: 0 };
+        match req.op {
+            pama_trace::Op::Get => {
+                p.on_get(&req, t);
+            }
+            pama_trace::Op::Set => p.on_set(&req, t),
+            pama_trace::Op::Delete => p.on_delete(&req, t),
+            pama_trace::Op::Replace => p.on_replace(&req, t),
+        }
+    }
+    g.bench_function("steady_state_request", |b| {
+        b.iter(|| {
+            let req = wl.next().unwrap();
+            let t = Tick { now: req.time, serial: 0 };
+            match req.op {
+                pama_trace::Op::Get => {
+                    black_box(p.on_get(&req, t));
+                }
+                pama_trace::Op::Set => p.on_set(&req, t),
+                pama_trace::Op::Delete => p.on_delete(&req, t),
+                pama_trace::Op::Replace => p.on_replace(&req, t),
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_kv_cache(c: &mut Criterion) {
+    // The release artifact's end-to-end ops: real byte storage, shard
+    // lock, policy bookkeeping, hashing — what an adopter would see.
+    use pama_kv::CacheBuilder;
+    let mut g = c.benchmark_group("pama_kv");
+    g.throughput(Throughput::Elements(1));
+    let cache = CacheBuilder::new()
+        .total_bytes(32 << 20)
+        .slab_bytes(256 << 10)
+        .shards(4)
+        .build();
+    // Preload a working set.
+    let keys: Vec<Vec<u8>> =
+        (0..20_000u32).map(|i| format!("bench-key-{i}").into_bytes()).collect();
+    let value = vec![0u8; 256];
+    for k in &keys {
+        cache.set(k, &value, None);
+    }
+    let mut rng = SplitMix64::new(11);
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            let k = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            black_box(cache.get(black_box(k)))
+        })
+    });
+    g.bench_function("set_update", |b| {
+        b.iter(|| {
+            let k = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            cache.set(black_box(k), &value, None);
+        })
+    });
+    let mut miss_i = 0u64;
+    g.bench_function("get_miss", |b| {
+        b.iter(|| {
+            miss_i = miss_i.wrapping_add(1);
+            let k = format!("absent-{miss_i}");
+            black_box(cache.get(black_box(k.as_bytes())))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_lru,
+    bench_zipf,
+    bench_reuse,
+    bench_workload_gen,
+    bench_engine,
+    bench_policy_decision,
+    bench_kv_cache
+);
+criterion_main!(benches);

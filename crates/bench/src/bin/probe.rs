@@ -1,0 +1,89 @@
+//! Developer diagnostic: per-window internals of one policy on the
+//! smoke workload (migrations, cache fill, per-class slabs). Not part
+//! of the figure suite.
+
+use pama_bench::harness::ScaledSetup;
+use pama_core::config::{EngineConfig, Tick};
+use pama_core::policy::{Pama, PamaConfig, Policy, Psa};
+use pama_trace::Op;
+use pama_workloads::Preset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let count_mode = args.iter().any(|a| a == "--pre");
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let app = args.iter().any(|a| a == "--app");
+    let setup = if app {
+        ScaledSetup {
+            preset: Preset::App,
+            n_ranks: 600_000,
+            seed: 0xA44,
+            requests: flag("--requests", 800_000) as usize,
+            cache_sizes: vec![256 << 20],
+            slab_bytes: 256 << 10,
+            window_gets: 100_000,
+        }
+    } else {
+        ScaledSetup {
+            preset: Preset::Etc,
+            n_ranks: 60_000,
+            seed: 7,
+            requests: flag("--requests", 800_000) as usize,
+            cache_sizes: vec![16 << 20],
+            slab_bytes: 128 << 10,
+            window_gets: 50_000,
+        }
+    };
+    let cache = setup.cache(setup.cache_sizes[0]);
+    let _ecfg = EngineConfig { window_gets: setup.window_gets, snapshot_allocations: true };
+    let psa_m = args
+        .iter()
+        .position(|a| a == "--psa")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+    let pcfg = PamaConfig {
+        count_mode,
+        value_window: flag("--vw", 100_000),
+        migration_cooldown: flag("--cooldown", 64),
+        ..PamaConfig::default()
+    };
+    let mut p: Box<dyn Policy + Send> = match psa_m {
+        Some(m) => Box::new(Psa::with_period(cache, m)),
+        None => Box::new(Pama::with_config(cache, pcfg)),
+    };
+    let mut gets = 0u64;
+    let mut hits = 0u64;
+    let mut serial = 0u64;
+    for req in setup.workload().build().take(setup.requests) {
+        let tick = Tick { now: req.time, serial };
+        serial += 1;
+        match req.op {
+            Op::Get => {
+                gets += 1;
+                if p.on_get(&req, tick).hit {
+                    hits += 1;
+                }
+                if gets % setup.window_gets == 0 {
+                    println!(
+                        "w{:>2} hit={:.3} items={} free_slabs={} alloc={:?}",
+                        gets / setup.window_gets,
+                        hits as f64 / setup.window_gets as f64,
+                        p.cache().len(),
+                        p.cache().free_slabs(),
+                        &p.cache().slab_allocation()[..10],
+                    );
+                    hits = 0;
+                }
+            }
+            Op::Set => p.on_set(&req, tick),
+            Op::Delete => p.on_delete(&req, tick),
+            Op::Replace => p.on_replace(&req, tick),
+        }
+    }
+}

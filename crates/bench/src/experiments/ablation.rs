@@ -1,0 +1,146 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Membership engine** — the paper's Bloom-filter segments (with
+//!    removal filter) vs exact hash-map membership: the decision
+//!    quality (hit ratio / service time) should be nearly identical,
+//!    supporting the paper's claim that the filters are a safe O(1)
+//!    shortcut.
+//! 2. **PSA period M** — how sensitive the PSA baseline is to its
+//!    relocation period (context for the default chosen here, since
+//!    the paper does not state its M).
+//! 3. **Value window** — PAMA's snapshot cadence: too-long windows go
+//!    stale, too-short ones are noisy; the default sits on a plateau.
+//! 4. **Migration cooldown** — the thrash stabiliser: without it
+//!    (cooldown 0/1) the allocator can enter the migration storm that
+//!    DESIGN.md documents.
+
+use super::{ExpOptions, ExpResult};
+use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
+use crate::output::{out_dir, print_run_summary, write_results_json, ShapeCheck};
+use pama_core::config::CacheConfig;
+use pama_core::metrics::RunResult;
+use pama_core::policy::{Pama, PamaConfig, Policy, Psa};
+use pama_core::sweep::{run_jobs, Job};
+
+fn pama_job(
+    setup: &ScaledSetup,
+    label: String,
+    mk: impl Fn(CacheConfig) -> PamaConfig + Send + 'static,
+) -> Job {
+    let setup = setup.clone();
+    let ecfg = setup.engine();
+    Job::new(label, ecfg, move || {
+        let cache = setup.cache(setup.cache_sizes[0]);
+        let pcfg = mk(cache.clone());
+        let p: Box<dyn Policy + Send> = Box::new(Pama::with_config(cache, pcfg));
+        (p, Box::new(setup.workload().build().take(setup.requests)) as Box<_>)
+    })
+}
+
+/// Runs all ablations.
+pub fn run(opts: &ExpOptions) -> ExpResult {
+    let mut setup = ScaledSetup::etc();
+    setup.requests = opts.scaled(2_500_000);
+    if let Some(s) = opts.seed {
+        setup.seed = s;
+    }
+    setup.cache_sizes.truncate(1);
+    let dir = out_dir(opts.out.as_deref());
+    let mut checks = Vec::new();
+    let tail = 8;
+
+    // 1. Bloom vs exact membership.
+    let results = run_matrix(
+        &setup,
+        &[SchemeKind::Pama, SchemeKind::PamaBloom],
+        opts.threads,
+        move |s| Box::new(s.workload().build().take(s.requests)),
+    );
+    write_results_json(&dir, "ablation_membership.json", &results);
+    print_run_summary("Ablation: exact vs Bloom membership", &results, tail);
+    let exact = &results[0];
+    let bloom = &results[1];
+    let rel = |a: f64, b: f64| (a - b).abs() / a.max(1e-12);
+    checks.push(ShapeCheck::new(
+        "Bloom membership matches exact within 5% on hit ratio and service time",
+        rel(exact.steady_state_hit_ratio(tail), bloom.steady_state_hit_ratio(tail)) < 0.05
+            && rel(
+                exact.steady_state_service_secs(tail),
+                bloom.steady_state_service_secs(tail),
+            ) < 0.10,
+        format!(
+            "hit {:.3} vs {:.3}; svc {:.1}ms vs {:.1}ms",
+            exact.steady_state_hit_ratio(tail),
+            bloom.steady_state_hit_ratio(tail),
+            exact.steady_state_service_secs(tail) * 1e3,
+            bloom.steady_state_service_secs(tail) * 1e3
+        ),
+    ));
+
+    // 2. PSA period sweep.
+    let mut jobs = Vec::new();
+    for m in [500u64, 2_000, 5_000, 20_000, 80_000] {
+        let s2 = setup.clone();
+        jobs.push(Job::new(format!("psa-M{m}"), setup.engine(), move || {
+            let p: Box<dyn Policy + Send> =
+                Box::new(Psa::with_period(s2.cache(s2.cache_sizes[0]), m));
+            (p, Box::new(s2.workload().build().take(s2.requests)) as Box<_>)
+        }));
+    }
+    let psa_results: Vec<RunResult> = run_jobs(jobs, opts.threads);
+    write_results_json(&dir, "ablation_psa_m.json", &psa_results);
+    print_run_summary("Ablation: PSA relocation period M", &psa_results, tail);
+    let best_hit = psa_results
+        .iter()
+        .map(|r| r.steady_state_hit_ratio(tail))
+        .fold(0.0, f64::max);
+    let worst_hit = psa_results
+        .iter()
+        .map(|r| r.steady_state_hit_ratio(tail))
+        .fold(1.0, f64::min);
+    checks.push(ShapeCheck::new(
+        "with the density guard, PSA is robust to M across two orders of magnitude",
+        best_hit - worst_hit < 0.05,
+        format!("hit ratio range across M: {:.3}..{:.3}", worst_hit, best_hit),
+    ));
+
+    // 3. Value-window sweep.
+    let jobs: Vec<Job> = [10_000u64, 50_000, 100_000, 400_000]
+        .into_iter()
+        .map(|vw| {
+            pama_job(&setup, format!("pama-vw{vw}"), move |_| PamaConfig {
+                value_window: vw,
+                ..PamaConfig::default()
+            })
+        })
+        .collect();
+    let vw_results = run_jobs(jobs, opts.threads);
+    write_results_json(&dir, "ablation_value_window.json", &vw_results);
+    print_run_summary("Ablation: PAMA value window", &vw_results, tail);
+
+    // 4. Migration cooldown: 1 (off) vs default vs huge.
+    let jobs: Vec<Job> = [1u64, 64, 4_096]
+        .into_iter()
+        .map(|cd| {
+            pama_job(&setup, format!("pama-cd{cd}"), move |_| PamaConfig {
+                migration_cooldown: cd,
+                ..PamaConfig::default()
+            })
+        })
+        .collect();
+    let cd_results = run_jobs(jobs, opts.threads);
+    write_results_json(&dir, "ablation_cooldown.json", &cd_results);
+    print_run_summary("Ablation: migration cooldown", &cd_results, tail);
+    let off = &cd_results[0];
+    let def = &cd_results[1];
+    checks.push(ShapeCheck::new(
+        "the migration cooldown never hurts and guards against thrash",
+        def.steady_state_hit_ratio(tail) + 0.02 >= off.steady_state_hit_ratio(tail),
+        format!(
+            "hit: cooldown-off {:.3} vs default {:.3}",
+            off.steady_state_hit_ratio(tail),
+            def.steady_state_hit_ratio(tail)
+        ),
+    ));
+    checks
+}

@@ -1,0 +1,229 @@
+//! Figs. 3 & 4 — space allocation over time.
+//!
+//! Fig. 3: per-class slab counts per window for the four schemes on
+//! the ETC workload at the base cache size. The paper's observations:
+//! original Memcached's allocation freezes after warm-up; PSA funnels
+//! slabs aggressively toward class 0; pre-PAMA grows class 0 more
+//! slowly and lets neighbouring small classes keep space; PAMA's
+//! allocation is spread far more evenly across classes.
+//!
+//! Fig. 4: inside PAMA, per-subclass (penalty-band) usage for a small
+//! class and a mid/large class. (The paper's caption says "under the
+//! PSA schemes" — a typo: subclasses exist only in PAMA; see
+//! DESIGN.md.) Expectation: the small class's population leans toward
+//! low-penalty bands, the larger class's toward high-penalty bands.
+
+use super::{ExpOptions, ExpResult};
+use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
+use crate::output::{out_dir, series_csv, write_file, write_results_json, ShapeCheck};
+use pama_core::metrics::RunResult;
+use pama_util::table::{downsample, sparkline};
+
+/// Runs Fig. 3 (`subclasses == false`) or Fig. 4 (`true`).
+pub fn run(opts: &ExpOptions, subclasses: bool) -> ExpResult {
+    let mut setup = ScaledSetup::etc();
+    setup.requests = opts.scaled(setup.requests);
+    if let Some(s) = opts.seed {
+        setup.seed = s;
+    }
+    // One cache size for the allocation figures (the paper's 4 GB).
+    setup.cache_sizes.truncate(1);
+
+    let schemes = SchemeKind::paper_set();
+    let results = run_matrix(&setup, &schemes, opts.threads, move |s| {
+        Box::new(s.workload().build().take(s.requests))
+    });
+    let dir = out_dir(opts.out.as_deref());
+    write_results_json(
+        &dir,
+        if subclasses { "fig4_runs.json" } else { "fig3_runs.json" },
+        &results,
+    );
+
+    if subclasses {
+        run_fig4(&results, &dir)
+    } else {
+        run_fig3(&results, &dir)
+    }
+}
+
+fn nonempty_classes(r: &RunResult) -> Vec<usize> {
+    let n = r
+        .windows
+        .iter()
+        .filter_map(|w| w.alloc.as_ref())
+        .map(|a| a.per_class_slabs.len())
+        .max()
+        .unwrap_or(0);
+    (0..n).filter(|&c| r.class_slab_series(c).iter().any(|&s| s > 0)).collect()
+}
+
+fn run_fig3(results: &[RunResult], dir: &std::path::Path) -> ExpResult {
+    println!("\nFig.3: per-class slab allocation over time");
+    for r in results {
+        println!("  -- {} --", r.policy);
+        let classes = nonempty_classes(r);
+        let mut runs: Vec<(String, Vec<f64>)> = Vec::new();
+        for &c in &classes {
+            let series: Vec<f64> =
+                r.class_slab_series(c).iter().map(|&x| f64::from(x)).collect();
+            println!(
+                "    class {c:>2} {} (final {})",
+                sparkline(&downsample(&series, 50)),
+                series.last().copied().unwrap_or(0.0)
+            );
+            runs.push((format!("class{c}"), series));
+        }
+        let refs: Vec<(&str, Vec<f64>)> =
+            runs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
+        let name = format!(
+            "fig3_alloc_{}.csv",
+            r.policy.replace(['(', ')', '='], "_").trim_end_matches('_')
+        );
+        write_file(dir, &name, &series_csv("window", &refs));
+    }
+
+    // Shape checks.
+    let find = |prefix: &str| results.iter().find(|r| r.policy.starts_with(prefix)).unwrap();
+    let memcached = find("memcached");
+    let psa = find("psa");
+    let pama = find("pama(");
+
+    let mut checks = Vec::new();
+
+    // 1. Memcached's allocation freezes after warm-up.
+    let frozen = {
+        let classes = nonempty_classes(memcached);
+        let w = memcached.windows.len();
+        classes.iter().all(|&c| {
+            let s = memcached.class_slab_series(c);
+            s[w / 2..].windows(2).all(|p| p[0] == p[1])
+        })
+    };
+    checks.push(ShapeCheck::new(
+        "original Memcached's allocation is frozen after warm-up",
+        frozen,
+        "second-half slab counts constant in every class",
+    ));
+
+    // 2. PSA funnels a dominant share to class 0.
+    let psa_final: Vec<u32> = nonempty_classes(psa)
+        .iter()
+        .map(|&c| *psa.class_slab_series(c).last().unwrap())
+        .collect();
+    let psa_total: u32 = psa_final.iter().sum();
+    let psa_class0 = *psa.class_slab_series(0).last().unwrap_or(&0);
+    checks.push(ShapeCheck::new(
+        "PSA funnels a dominant share of slabs to class 0 (paper: ~80%)",
+        f64::from(psa_class0) > 0.4 * f64::from(psa_total),
+        format!("class0 {psa_class0} of {psa_total}"),
+    ));
+
+    // 3. PAMA spreads allocation more evenly than PSA: compare the
+    //    largest class share.
+    let share = |r: &RunResult| {
+        let finals: Vec<f64> = nonempty_classes(r)
+            .iter()
+            .map(|&c| f64::from(*r.class_slab_series(c).last().unwrap()))
+            .collect();
+        let total: f64 = finals.iter().sum();
+        finals.iter().cloned().fold(0.0, f64::max) / total.max(1.0)
+    };
+    checks.push(ShapeCheck::new(
+        "PAMA's allocation is more even across classes than PSA's",
+        share(pama) < share(psa),
+        format!("max class share pama {:.2} vs psa {:.2}", share(pama), share(psa)),
+    ));
+    checks
+}
+
+fn run_fig4(results: &[RunResult], dir: &std::path::Path) -> ExpResult {
+    let pama = results.iter().find(|r| r.policy.starts_with("pama(")).unwrap();
+    println!("\nFig.4: PAMA per-subclass usage (slot units)");
+    // Pick the paper's pair (it used classes 0 and 8): the smallest
+    // class and the largest class that still hold a meaningful item
+    // population at the end of the run.
+    let final_usage = |class: usize| -> u64 {
+        pama.windows
+            .iter()
+            .rev()
+            .filter_map(|w| w.alloc.as_ref())
+            .next()
+            .and_then(|a| a.per_subclass_slots.get(class))
+            .map(|bands| bands.iter().sum())
+            .unwrap_or(0)
+    };
+    let nclasses = pama
+        .windows
+        .iter()
+        .filter_map(|w| w.alloc.as_ref())
+        .map(|a| a.per_subclass_slots.len())
+        .max()
+        .unwrap_or(0);
+    let small = (0..nclasses).find(|&c| final_usage(c) > 0).unwrap_or(0);
+    let large = (small + 3..nclasses)
+        .filter(|&c| final_usage(c) >= 32)
+        .max()
+        .unwrap_or_else(|| {
+            (small + 1..nclasses).max_by_key(|&c| final_usage(c)).unwrap_or(small)
+        });
+
+    let bands = pama
+        .windows
+        .iter()
+        .filter_map(|w| w.alloc.as_ref())
+        .map(|a| a.per_subclass_slots.first().map_or(0, |b| b.len()))
+        .max()
+        .unwrap_or(5);
+
+    let mut checks = Vec::new();
+    let mut weighted_band = [0.0f64; 2];
+    for (i, &class) in [small, large].iter().enumerate() {
+        println!("  -- class {class} --");
+        let mut runs: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut total = 0.0;
+        let mut weighted = 0.0;
+        for b in 0..bands {
+            let series: Vec<f64> = pama
+                .subclass_slot_series(class, b)
+                .iter()
+                .map(|&x| x as f64)
+                .collect();
+            let last = series.last().copied().unwrap_or(0.0);
+            total += last;
+            weighted += last * b as f64;
+            println!(
+                "    band {b} {} (final {last})",
+                sparkline(&downsample(&series, 50))
+            );
+            runs.push((format!("band{b}"), series));
+        }
+        weighted_band[i] = if total > 0.0 { weighted / total } else { 0.0 };
+        let refs: Vec<(&str, Vec<f64>)> =
+            runs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
+        write_file(dir, &format!("fig4_class{class}_subclasses.csv"), &series_csv("window", &refs));
+    }
+    checks.push(ShapeCheck::new(
+        "larger class's population sits in higher penalty bands than the small class's",
+        weighted_band[1] > weighted_band[0],
+        format!(
+            "mean band: class {small} → {:.2}, class {large} → {:.2}",
+            weighted_band[0], weighted_band[1]
+        ),
+    ));
+    checks.push(ShapeCheck::new(
+        "multiple penalty bands are populated in both classes",
+        {
+            let populated_bands = |class: usize| {
+                (0..bands)
+                    .filter(|&b| {
+                        pama.subclass_slot_series(class, b).last().copied().unwrap_or(0) > 0
+                    })
+                    .count()
+            };
+            populated_bands(small) >= 2 && populated_bands(large) >= 2
+        },
+        "subclassing active",
+    ));
+    checks
+}

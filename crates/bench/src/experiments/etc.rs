@@ -1,0 +1,143 @@
+//! Figs. 5 & 6 — ETC hit ratio and average service time across cache
+//! sizes, four schemes.
+//!
+//! Paper observations to reproduce:
+//! * hit ratio: pre-PAMA highest, original Memcached lowest, PAMA
+//!   *below* the hit-ratio-optimised schemes ("PAMA's hit ratios are
+//!   lower than those of PSA's, though their differences become
+//!   smaller with a larger cache"), and PAMA may trade hits away;
+//! * service time: PAMA lowest at every cache size, with the largest
+//!   advantage at the smallest cache ("when cache is relatively small
+//!   … PAMA's service-time oriented optimization allows more misses
+//!   to occur on items of relatively small miss penalty");
+//! * larger caches narrow every gap.
+
+use super::{ExpOptions, ExpResult};
+use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
+use crate::output::{
+    out_dir, print_run_summary, series_csv, write_file, write_results_json, ShapeCheck,
+};
+use pama_core::metrics::RunResult;
+
+/// Runs the Figs. 5–6 reproduction (both figures come from the same
+/// runs: hit-ratio series = Fig. 5, service-time series = Fig. 6).
+pub fn run(opts: &ExpOptions) -> ExpResult {
+    let mut setup = ScaledSetup::etc();
+    setup.requests = opts.scaled(setup.requests);
+    if let Some(s) = opts.seed {
+        setup.seed = s;
+    }
+    let schemes = SchemeKind::paper_set();
+    let results = run_matrix(&setup, &schemes, opts.threads, move |s| {
+        Box::new(s.workload().build().take(s.requests))
+    });
+    let dir = out_dir(opts.out.as_deref());
+    write_results_json(&dir, "fig5_6_runs.json", &results);
+
+    let per_size: Vec<&[RunResult]> = results.chunks(schemes.len()).collect();
+    let tail = 10;
+    let mut checks = Vec::new();
+
+    for (i, group) in per_size.iter().enumerate() {
+        let mb = setup.cache_sizes[i] >> 20;
+        print_run_summary(&format!("ETC @ {mb} MB (Figs. 5–6)"), group, tail);
+
+        let hit_runs: Vec<(&str, Vec<f64>)> =
+            group.iter().map(|r| (r.policy.as_str(), r.hit_ratio_series())).collect();
+        write_file(&dir, &format!("fig5_hit_{mb}mb.csv"), &series_csv("window", &hit_runs));
+        let svc_runs: Vec<(&str, Vec<f64>)> = group
+            .iter()
+            .map(|r| (r.policy.as_str(), r.avg_service_series_secs()))
+            .collect();
+        write_file(&dir, &format!("fig6_svc_{mb}mb.csv"), &series_csv("window", &svc_runs));
+
+        let find = |p: &str| group.iter().find(|r| r.policy.starts_with(p)).unwrap();
+        let memcached = find("memcached");
+        let psa = find("psa");
+        let pre = find("pre-pama");
+        let pama = find("pama(");
+
+        checks.push(ShapeCheck::new(
+            format!("{mb}MB: pre-PAMA achieves the highest hit ratio (±0.5pt tie band)"),
+            pre.steady_state_hit_ratio(tail) + 0.005
+                >= [memcached, psa, pama]
+                    .iter()
+                    .map(|r| r.steady_state_hit_ratio(tail))
+                    .fold(0.0, f64::max),
+            format!(
+                "pre {:.3} / psa {:.3} / pama {:.3} / mc {:.3}",
+                pre.steady_state_hit_ratio(tail),
+                psa.steady_state_hit_ratio(tail),
+                pama.steady_state_hit_ratio(tail),
+                memcached.steady_state_hit_ratio(tail)
+            ),
+        ));
+        checks.push(ShapeCheck::new(
+            format!("{mb}MB: original Memcached has the lowest hit ratio"),
+            memcached.steady_state_hit_ratio(tail)
+                <= [pre, psa, pama]
+                    .iter()
+                    .map(|r| r.steady_state_hit_ratio(tail))
+                    .fold(1.0, f64::min)
+                    + 0.01,
+            format!("mc {:.3}", memcached.steady_state_hit_ratio(tail)),
+        ));
+        checks.push(ShapeCheck::new(
+            format!("{mb}MB: PAMA achieves the shortest service time (±3% tie band)"),
+            pama.steady_state_service_secs(tail)
+                <= [memcached, psa, pre]
+                    .iter()
+                    .map(|r| r.steady_state_service_secs(tail))
+                    .fold(f64::INFINITY, f64::min)
+                    * 1.03,
+            format!(
+                "pama {:.1}ms vs psa {:.1}ms, pre {:.1}ms, mc {:.1}ms",
+                pama.steady_state_service_secs(tail) * 1e3,
+                psa.steady_state_service_secs(tail) * 1e3,
+                pre.steady_state_service_secs(tail) * 1e3,
+                memcached.steady_state_service_secs(tail) * 1e3
+            ),
+        ));
+    }
+
+    // Cross-size trends: every scheme's hit ratio improves with cache
+    // size, and PAMA's service-time advantage over PSA shrinks (or at
+    // least does not grow) as the cache grows.
+    for s in &schemes {
+        let prefix = match s {
+            SchemeKind::Pama => "pama(",
+            SchemeKind::PrePama => "pre-pama",
+            SchemeKind::Psa => "psa",
+            _ => "memcached",
+        };
+        let ratios: Vec<f64> = per_size
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .find(|r| r.policy.starts_with(prefix))
+                    .unwrap()
+                    .steady_state_hit_ratio(tail)
+            })
+            .collect();
+        checks.push(ShapeCheck::new(
+            format!("{}: hit ratio grows with cache size", s.label()),
+            ratios.windows(2).all(|w| w[1] >= w[0] - 0.01),
+            format!("{ratios:.3?}"),
+        ));
+    }
+    let advantage: Vec<f64> = per_size
+        .iter()
+        .map(|g| {
+            let pama = g.iter().find(|r| r.policy.starts_with("pama(")).unwrap();
+            let psa = g.iter().find(|r| r.policy.starts_with("psa")).unwrap();
+            psa.steady_state_service_secs(tail) / pama.steady_state_service_secs(tail).max(1e-9)
+        })
+        .collect();
+    checks.push(ShapeCheck::new(
+        "PAMA's service-time advantage is largest at the smallest cache",
+        advantage.first().copied().unwrap_or(1.0) + 0.05
+            >= advantage.last().copied().unwrap_or(1.0),
+        format!("psa/pama service ratio per size: {advantage:.2?}"),
+    ));
+    checks
+}

@@ -1,0 +1,167 @@
+//! Fig. 1 — miss penalties of GET requests for KV items of different
+//! sizes (the APP workload).
+//!
+//! The paper scatter-plots per-miss penalty against item size,
+//! observing penalties "as small as a few milliseconds and as large as
+//! several seconds" at every size. We regenerate the figure's data by
+//! running the APP-like workload through the **penalty estimator**
+//! (GET-miss→SET gap, 5 s cap) — the same inference the paper applied
+//! to its traces — and emitting a log₂-binned (size × penalty) density
+//! table plus per-size-decade penalty quantiles.
+//!
+//! Shape checks: penalties span ≥ 3 decades overall; the spread is
+//! wide *within* size bins (not explained by size); nothing exceeds
+//! the 5 s cap.
+
+use super::{ExpOptions, ExpResult};
+use crate::output::{out_dir, write_file, ShapeCheck};
+use pama_trace::transform;
+use pama_trace::{Op, PenaltyEstimator, Request, Trace};
+use pama_util::hist::LogHistogram;
+use pama_util::table::Table;
+use pama_util::FastSet;
+use pama_workloads::Preset;
+
+/// Runs the Fig. 1 reproduction.
+pub fn run(opts: &ExpOptions) -> ExpResult {
+    let n = opts.scaled(1_500_000);
+    let cfg = Preset::App.config(200_000, opts.seed.unwrap_or(0xF161));
+    let base = cfg.generate(n);
+
+    // Build the estimator's input: a client-view trace where every GET
+    // miss (first touch per key) is followed by the SET that refills it
+    // after the key's ground-truth regeneration delay.
+    let client_view = synthesize_miss_refills(&base);
+    let mut est = PenaltyEstimator::new();
+    est.observe_trace(&client_view);
+    let accepted = est.accepted();
+    let map = est.finish();
+
+    // Scatter density: log2 size bins × penalty quantiles.
+    let mut per_bin: Vec<LogHistogram> = (0..21).map(|_| LogHistogram::new(40)).collect();
+    let mut overall = LogHistogram::new(40);
+    let mut max_penalty_us = 0u64;
+    let mut counted: FastSet<u64> = FastSet::default();
+    for r in &base {
+        if r.op == Op::Get && counted.insert(r.key) && map.has_estimate(r.key) {
+            let p = map.penalty(r.key).as_micros();
+            let size = r.item_bytes().max(1);
+            let bin = (63 - size.leading_zeros() as usize).min(20);
+            per_bin[bin].record(p);
+            overall.record(p);
+            max_penalty_us = max_penalty_us.max(p);
+        }
+    }
+
+    let mut table =
+        Table::new(vec!["size_bin", "keys", "p10_ms", "p50_ms", "p90_ms", "p99_ms"]);
+    let mut csv = String::from("size_lo_bytes,keys,p10_us,p50_us,p90_us,p99_us\n");
+    for (i, h) in per_bin.iter().enumerate() {
+        if h.total() == 0 {
+            continue;
+        }
+        let q = |x: f64| h.quantile(x).unwrap_or(0);
+        table.row(vec![
+            format!("{}B", 1u64 << i),
+            h.total().to_string(),
+            format!("{:.1}", q(0.10) as f64 / 1e3),
+            format!("{:.1}", q(0.50) as f64 / 1e3),
+            format!("{:.1}", q(0.90) as f64 / 1e3),
+            format!("{:.1}", q(0.99) as f64 / 1e3),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            1u64 << i,
+            h.total(),
+            q(0.10),
+            q(0.50),
+            q(0.90),
+            q(0.99)
+        ));
+    }
+    println!("\nFig.1: penalty-vs-size quantiles (APP-like, {accepted} estimator samples)");
+    print!("{}", table.render());
+    let dir = out_dir(opts.out.as_deref());
+    write_file(&dir, "fig1_penalty_vs_size.csv", &csv);
+
+    let mut checks = Vec::new();
+    let p01 = overall.quantile(0.01).unwrap_or(1);
+    let p99 = overall.quantile(0.99).unwrap_or(1);
+    checks.push(ShapeCheck::new(
+        "penalties span at least three decades (Fig.1: ms..seconds)",
+        p99 / p01.max(1) >= 1000,
+        format!("p01 {:.1}ms vs p99 {:.1}ms", p01 as f64 / 1e3, p99 as f64 / 1e3),
+    ));
+    checks.push(ShapeCheck::new(
+        "no estimated penalty exceeds the 5s cap",
+        max_penalty_us <= 5_000_000,
+        format!("max estimate {:.3}s", max_penalty_us as f64 / 1e6),
+    ));
+    // Spread within a populated size bin: p90/p10 ≥ 10 means size alone
+    // does not determine penalty (a scatter, not a line).
+    let widest = per_bin
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.total() > 100)
+        .map(|(i, h)| {
+            let lo = h.quantile(0.10).unwrap_or(1).max(1);
+            let hi = h.quantile(0.90).unwrap_or(1);
+            (i, hi / lo)
+        })
+        .max_by_key(|&(_, spread)| spread);
+    checks.push(ShapeCheck::new(
+        "per-size-bin penalty spread is wide (scatter, not a curve)",
+        widest.map_or(false, |(_, s)| s >= 10),
+        format!("widest bin spread {widest:?}"),
+    ));
+    checks
+}
+
+/// Builds the estimator input: for each GET that is a *cold* access of
+/// its key (first touch), append the refill SET at `t + penalty`. The
+/// result is merged back into time order. This mirrors how the
+/// production traces contain the miss→SET pairs the paper mines.
+fn synthesize_miss_refills(base: &Trace) -> Trace {
+    let mut seen: FastSet<u64> = FastSet::default();
+    let mut refills: Vec<Request> = Vec::new();
+    for r in base {
+        if r.op == Op::Get && seen.insert(r.key) {
+            if let Some(p) = r.penalty() {
+                let mut set = Request::set(r.time + p, r.key, r.key_size, r.value_size);
+                set.penalty_us = 0; // the estimator must infer it
+                refills.push(set);
+            }
+        }
+    }
+    refills.sort_by_key(|r| r.time);
+    let mut stripped = base.clone();
+    for r in &mut stripped.requests {
+        r.penalty_us = 0;
+    }
+    transform::merge(&stripped, &Trace::from_requests(refills))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::{SimDuration, SimTime};
+
+    #[test]
+    fn refill_synthesis_pairs_first_touches() {
+        let base = Trace::from_requests(vec![
+            Request::get(SimTime::from_millis(0), 1, 8, 100)
+                .with_penalty(SimDuration::from_millis(30)),
+            Request::get(SimTime::from_millis(100), 1, 8, 100)
+                .with_penalty(SimDuration::from_millis(30)),
+            Request::get(SimTime::from_millis(200), 2, 8, 100)
+                .with_penalty(SimDuration::from_millis(70)),
+        ]);
+        let t = synthesize_miss_refills(&base);
+        // 3 GETs + 2 refill SETs (one per distinct key)
+        assert_eq!(t.len(), 5);
+        assert!(t.is_sorted());
+        let map = PenaltyEstimator::estimate(&t);
+        assert_eq!(map.penalty(1), SimDuration::from_millis(30));
+        assert_eq!(map.penalty(2), SimDuration::from_millis(70));
+    }
+}

@@ -1,0 +1,131 @@
+//! The three workloads the paper *didn't* evaluate — and why.
+//!
+//! §IV: "Among the other three traces (USR, SYS, and VAR), USR has two
+//! key size values (16B and 21B) and almost only one value size (2B).
+//! SYS has very small data set, and a 1G memory can produce almost a
+//! 100% hit ratio. VAR is dominated by update requests." This
+//! experiment runs all five presets through the paper's scheme set and
+//! verifies those three claims hold for our synthetic counterparts —
+//! i.e. that the generators reproduce the *reasons* behind the paper's
+//! workload selection, not just ETC/APP themselves.
+
+use super::{ExpOptions, ExpResult};
+use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
+use crate::output::{out_dir, print_run_summary, write_results_json, ShapeCheck};
+use pama_trace::stats::TraceSummary;
+use pama_workloads::Preset;
+
+/// Runs all five presets and checks the paper's selection rationale.
+pub fn run(opts: &ExpOptions) -> ExpResult {
+    let mut checks = Vec::new();
+    let dir = out_dir(opts.out.as_deref());
+    let seed = opts.seed.unwrap_or(0x5e7);
+
+    // Trace-level claims first (no simulation needed).
+    let usr = Preset::Usr.config(100_000, seed).generate(opts.scaled(200_000));
+    let usr_sizes: std::collections::HashSet<(u32, u32)> = usr
+        .iter()
+        .filter(|r| r.op == pama_trace::Op::Get)
+        .map(|r| (r.key_size, r.value_size))
+        .collect();
+    checks.push(ShapeCheck::new(
+        "USR: exactly two key sizes (16/21B) and one value size (2B)",
+        usr_sizes.iter().all(|&(k, v)| (k == 16 || k == 21) && v == 2)
+            && usr_sizes.len() <= 2,
+        format!("distinct (key,value) size pairs: {usr_sizes:?}"),
+    ));
+
+    let var = Preset::Var.config(50_000, seed).generate(opts.scaled(200_000));
+    let vs = TraceSummary::compute(&var);
+    checks.push(ShapeCheck::new(
+        "VAR: dominated by update requests",
+        vs.sets + vs.replaces > vs.gets * 2,
+        format!("updates {} vs gets {}", vs.sets + vs.replaces, vs.gets),
+    ));
+
+    // SYS: a modest cache nearly saturates the hit ratio.
+    let sys_setup = ScaledSetup {
+        preset: Preset::Sys,
+        n_ranks: 20_000,
+        seed,
+        requests: opts.scaled(1_000_000),
+        cache_sizes: vec![64 << 20],
+        slab_bytes: 256 << 10,
+        window_gets: 100_000,
+    };
+    let sys_results = run_matrix(
+        &sys_setup,
+        &[SchemeKind::Memcached, SchemeKind::Pama],
+        opts.threads,
+        move |s| Box::new(s.workload().build().take(s.requests)),
+    );
+    print_run_summary("SYS-like @ 64 MB (saturation check)", &sys_results, 4);
+    write_results_json(&dir, "presets_sys.json", &sys_results);
+    let sys_pama = sys_results
+        .iter()
+        .find(|r| r.policy.starts_with("pama"))
+        .unwrap();
+    checks.push(ShapeCheck::new(
+        "SYS: a modest cache produces a near-saturated hit ratio",
+        sys_pama.steady_state_hit_ratio(4) > 0.95,
+        format!("pama steady hit {:.3}", sys_pama.steady_state_hit_ratio(4)),
+    ));
+
+    // With degenerate sizes (USR), all schemes collapse to plain LRU in
+    // one or two classes, so scheme choice barely matters — the paper's
+    // implicit reason the trace is uninformative for *allocation*
+    // studies.
+    let usr_setup = ScaledSetup {
+        preset: Preset::Usr,
+        n_ranks: 300_000,
+        seed,
+        requests: opts.scaled(1_500_000),
+        cache_sizes: vec![4 << 20],
+        slab_bytes: 64 << 10,
+        window_gets: 100_000,
+    };
+    let usr_results =
+        run_matrix(&usr_setup, &SchemeKind::paper_set(), opts.threads, move |s| {
+            Box::new(s.workload().build().take(s.requests))
+        });
+    print_run_summary("USR-like @ 4 MB (degenerate-size check)", &usr_results, 4);
+    write_results_json(&dir, "presets_usr.json", &usr_results);
+    // Among the hit-ratio-oriented schemes there is nothing to
+    // reallocate (one class), so they tie; PAMA still partitions by
+    // penalty band and pays a few hit points for it — the trade it is
+    // designed to make, measured here so the behaviour is on record.
+    let hit_of = |prefix: &str| {
+        usr_results
+            .iter()
+            .find(|r| r.policy.starts_with(prefix))
+            .unwrap()
+            .steady_state_hit_ratio(4)
+    };
+    let oriented = [hit_of("memcached"), hit_of("psa"), hit_of("pre-pama")];
+    let spread = oriented.iter().cloned().fold(0.0, f64::max)
+        - oriented.iter().cloned().fold(1.0, f64::min);
+    checks.push(ShapeCheck::new(
+        "USR: hit-oriented schemes tie exactly (single-class workload, nothing to move)",
+        spread < 0.01,
+        format!("hit spread across memcached/psa/pre-pama: {spread:.4}"),
+    ));
+    let svc_of = |prefix: &str| {
+        usr_results
+            .iter()
+            .find(|r| r.policy.starts_with(prefix))
+            .unwrap()
+            .steady_state_service_secs(4)
+    };
+    checks.push(ShapeCheck::new(
+        "USR: PAMA's service time stays competitive despite its hit trade",
+        svc_of("pama(") <= svc_of("memcached") * 1.25,
+        format!(
+            "pama {:.2}ms vs memcached {:.2}ms (hit {:.3} vs {:.3})",
+            svc_of("pama(") * 1e3,
+            svc_of("memcached") * 1e3,
+            hit_of("pama("),
+            hit_of("memcached")
+        ),
+    ));
+    checks
+}

@@ -1,0 +1,52 @@
+//! A fast end-to-end sanity run: small ETC-like workload, all four
+//! paper schemes, one cache size. Finishes in seconds; checks only the
+//! coarsest orderings. Used by CI-style validation and as a harness
+//! self-test before launching long campaigns.
+
+use super::{ExpOptions, ExpResult};
+use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
+use crate::output::{out_dir, print_run_summary, write_results_json, ShapeCheck};
+use pama_workloads::Preset;
+
+/// Runs the smoke experiment.
+pub fn run(opts: &ExpOptions) -> ExpResult {
+    let mut setup = ScaledSetup {
+        preset: Preset::Etc,
+        n_ranks: 60_000,
+        seed: opts.seed.unwrap_or(7),
+        requests: opts.scaled(800_000),
+        cache_sizes: vec![16 << 20],
+        slab_bytes: 128 << 10,
+        window_gets: 50_000,
+    };
+    setup.requests = opts.scaled(800_000);
+
+    let schemes = SchemeKind::paper_set();
+    let results = run_matrix(&setup, &schemes, opts.threads, move |s| {
+        Box::new(s.workload().build().take(s.requests))
+    });
+    print_run_summary("smoke: etc-like @ 16MB", &results, 4);
+    let dir = out_dir(opts.out.as_deref());
+    write_results_json(&dir, "smoke.json", &results);
+
+    let memcached = results.iter().find(|r| r.policy == "memcached").unwrap();
+    let pama = results.iter().find(|r| r.policy.starts_with("pama(")).unwrap();
+    let pre = results.iter().find(|r| r.policy.starts_with("pre-pama")).unwrap();
+
+    let mut checks = Vec::new();
+    checks.push(ShapeCheck::new(
+        "reallocating schemes beat original Memcached on hit ratio",
+        pre.hit_ratio() > memcached.hit_ratio(),
+        format!(
+            "pre-pama {:.3} vs memcached {:.3}",
+            pre.hit_ratio(),
+            memcached.hit_ratio()
+        ),
+    ));
+    checks.push(ShapeCheck::new(
+        "PAMA beats original Memcached on service time",
+        pama.avg_service() < memcached.avg_service(),
+        format!("pama {} vs memcached {}", pama.avg_service(), memcached.avg_service()),
+    ));
+    checks
+}

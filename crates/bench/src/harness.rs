@@ -1,0 +1,270 @@
+//! Shared harness: scheme registry, scaled experiment setups, and the
+//! matrix runner.
+//!
+//! Scaling discipline (DESIGN.md §2): the paper runs 4–64 GB caches
+//! against 0.8–1.8 billion requests; the scaled defaults shrink the
+//! cache and the key population together so the cache-to-working-set
+//! ratio — the quantity the schemes actually react to — is preserved,
+//! while a full figure regenerates in minutes on a laptop. Every
+//! parameter can be overridden from the `repro` CLI.
+
+use pama_core::config::{CacheConfig, EngineConfig};
+use pama_core::metrics::RunResult;
+use pama_core::policy::{
+    FacebookAge, GlobalLru, LamaLite, MemcachedOriginal, Pama, PamaConfig, Policy, Psa,
+    Twemcache,
+};
+use pama_core::segments::MembershipMode;
+use pama_core::sweep::{run_jobs, Job};
+use pama_trace::Request;
+use pama_workloads::{Preset, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// The allocation schemes the harness can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Original Memcached (no reallocation).
+    Memcached,
+    /// Periodic slab allocation.
+    Psa,
+    /// PSA without the density guard (the paper-literal rule).
+    PsaUnguarded,
+    /// PAMA without penalty awareness.
+    PrePama,
+    /// The paper's contribution.
+    Pama,
+    /// PAMA with an explicit `m`.
+    PamaM(
+        /// Number of reference segments.
+        usize,
+    ),
+    /// PAMA with Bloom-filter membership (ablation).
+    PamaBloom,
+    /// Facebook's LRU-age balancer (extension).
+    Facebook,
+    /// Twitter's random-slab policy (extension).
+    Twemcache,
+    /// MRC + optimisation, service-time objective (extension).
+    LamaLite,
+    /// Single global LRU reference (extension).
+    GlobalLru,
+}
+
+impl SchemeKind {
+    /// The four schemes of the paper's main comparison (Figs. 3–8).
+    pub fn paper_set() -> Vec<SchemeKind> {
+        vec![SchemeKind::Memcached, SchemeKind::Psa, SchemeKind::PrePama, SchemeKind::Pama]
+    }
+
+    /// The extended set (paper set + §II schemes + references).
+    pub fn extended_set() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::Memcached,
+            SchemeKind::Psa,
+            SchemeKind::PrePama,
+            SchemeKind::Pama,
+            SchemeKind::Facebook,
+            SchemeKind::Twemcache,
+            SchemeKind::LamaLite,
+            SchemeKind::GlobalLru,
+        ]
+    }
+
+    /// Short display label.
+    pub fn label(self) -> String {
+        match self {
+            SchemeKind::Memcached => "memcached".into(),
+            SchemeKind::Psa => "psa".into(),
+            SchemeKind::PsaUnguarded => "psa-unguarded".into(),
+            SchemeKind::PrePama => "pre-pama".into(),
+            SchemeKind::Pama => "pama".into(),
+            SchemeKind::PamaM(m) => format!("pama-m{m}"),
+            SchemeKind::PamaBloom => "pama-bloom".into(),
+            SchemeKind::Facebook => "facebook".into(),
+            SchemeKind::Twemcache => "twemcache".into(),
+            SchemeKind::LamaLite => "lama-lite".into(),
+            SchemeKind::GlobalLru => "global-lru".into(),
+        }
+    }
+
+    /// Instantiates the policy over a fresh cache.
+    pub fn build(self, cache: CacheConfig) -> Box<dyn Policy + Send> {
+        match self {
+            SchemeKind::Memcached => Box::new(MemcachedOriginal::new(cache)),
+            SchemeKind::Psa => Box::new(Psa::new(cache)),
+            SchemeKind::PsaUnguarded => {
+                Box::new(Psa::unguarded(cache, Psa::DEFAULT_M))
+            }
+            SchemeKind::PrePama => Box::new(Pama::pre_pama(cache)),
+            SchemeKind::Pama => Box::new(Pama::new(cache)),
+            SchemeKind::PamaM(m) => Box::new(Pama::with_config(
+                cache,
+                PamaConfig { m, ..PamaConfig::default() },
+            )),
+            SchemeKind::PamaBloom => Box::new(Pama::with_config(
+                cache,
+                PamaConfig {
+                    membership: MembershipMode::Bloom { fpp: 0.01 },
+                    ..PamaConfig::default()
+                },
+            )),
+            SchemeKind::Facebook => Box::new(FacebookAge::new(cache)),
+            SchemeKind::Twemcache => Box::new(Twemcache::new(cache)),
+            SchemeKind::LamaLite => Box::new(LamaLite::new(cache)),
+            SchemeKind::GlobalLru => Box::new(GlobalLru::new(cache)),
+        }
+    }
+}
+
+/// A scaled experiment setup: workload + geometry + run length.
+#[derive(Debug, Clone)]
+pub struct ScaledSetup {
+    /// Workload preset.
+    pub preset: Preset,
+    /// Key-population size handed to the preset.
+    pub n_ranks: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Requests per run.
+    pub requests: usize,
+    /// Cache sizes (bytes) for the figure's panels.
+    pub cache_sizes: Vec<u64>,
+    /// Slab size (bytes).
+    pub slab_bytes: u64,
+    /// GETs per metrics window.
+    pub window_gets: u64,
+}
+
+impl ScaledSetup {
+    /// The ETC setup used by Figs. 3–6 (scaled from 4/8/16 GB).
+    ///
+    /// Geometry: 256 KiB slabs keep the slab count per cache (256–1024)
+    /// in the same regime as the paper's 4096 (4 GB / 1 MB).
+    pub fn etc() -> Self {
+        Self {
+            preset: Preset::Etc,
+            n_ranks: 400_000,
+            seed: 0xE7C,
+            requests: 6_000_000,
+            cache_sizes: vec![64 << 20, 128 << 20, 256 << 20],
+            slab_bytes: 256 << 10,
+            window_gets: 100_000,
+        }
+    }
+
+    /// The APP setup used by Figs. 7–8 (scaled from 16/32/64 GB; the
+    /// trace is replayed twice, so `requests` is one pass).
+    pub fn app() -> Self {
+        Self {
+            preset: Preset::App,
+            n_ranks: 600_000,
+            seed: 0xA44,
+            requests: 5_000_000,
+            cache_sizes: vec![256 << 20, 512 << 20, 1024 << 20],
+            slab_bytes: 256 << 10,
+            window_gets: 100_000,
+        }
+    }
+
+    /// Workload config for this setup.
+    pub fn workload(&self) -> WorkloadConfig {
+        self.preset.config(self.n_ranks, self.seed)
+    }
+
+    /// Cache config for one panel.
+    pub fn cache(&self, total_bytes: u64) -> CacheConfig {
+        CacheConfig { total_bytes, slab_bytes: self.slab_bytes, ..CacheConfig::default() }
+    }
+
+    /// Engine config.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig { window_gets: self.window_gets, snapshot_allocations: true }
+    }
+}
+
+/// Runs the full scheme × cache-size matrix for a setup, with the
+/// request stream built per job by `stream` (so experiments can wrap
+/// the base workload: repeat it, splice bursts, …). Results are in
+/// `(cache_size-major, scheme-minor)` order.
+pub fn run_matrix(
+    setup: &ScaledSetup,
+    schemes: &[SchemeKind],
+    threads: usize,
+    stream: impl Fn(&ScaledSetup) -> Box<dyn Iterator<Item = Request>> + Send + Sync + Clone + 'static,
+) -> Vec<RunResult> {
+    let mut jobs = Vec::new();
+    for &size in &setup.cache_sizes {
+        for &scheme in schemes {
+            let setup2 = setup.clone();
+            let stream2 = stream.clone();
+            let label = format!("{}/{}MB", setup.preset.name(), size >> 20);
+            let ecfg = setup.engine();
+            jobs.push(Job::new(label, ecfg, move || {
+                let policy = scheme.build(setup2.cache(size));
+                let reqs = stream2(&setup2);
+                (policy, reqs)
+            }));
+        }
+    }
+    run_jobs(jobs, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels_are_unique() {
+        let all = SchemeKind::extended_set();
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), all.len());
+        assert_eq!(SchemeKind::PamaM(4).label(), "pama-m4");
+    }
+
+    #[test]
+    fn paper_set_order_matches_figures() {
+        let s = SchemeKind::paper_set();
+        assert_eq!(s[0], SchemeKind::Memcached);
+        assert_eq!(s[3], SchemeKind::Pama);
+    }
+
+    #[test]
+    fn schemes_build_and_serve() {
+        use pama_core::config::Tick;
+        use pama_util::SimTime;
+        let cache = CacheConfig {
+            total_bytes: 1 << 20,
+            slab_bytes: 64 << 10,
+            ..CacheConfig::default()
+        };
+        for scheme in SchemeKind::extended_set() {
+            let mut p = scheme.build(cache.clone());
+            let r = Request::get(SimTime::ZERO, 1, 8, 100);
+            let t = Tick { now: SimTime::ZERO, serial: 0 };
+            let first = p.on_get(&r, t);
+            assert!(!first.hit, "{}: cold GET hit?", scheme.label());
+            assert!(p.on_get(&r, t).hit, "{}: refill missing", scheme.label());
+        }
+    }
+
+    #[test]
+    fn matrix_runs_small() {
+        let mut setup = ScaledSetup::etc();
+        setup.requests = 2_000;
+        setup.n_ranks = 500;
+        setup.cache_sizes = vec![1 << 20];
+        setup.slab_bytes = 64 << 10;
+        setup.window_gets = 500;
+        let results = run_matrix(
+            &setup,
+            &[SchemeKind::Memcached, SchemeKind::Pama],
+            2,
+            |s| Box::new(s.workload().build().take(s.requests)),
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[0].policy.starts_with("memcached"));
+        assert!(results[1].policy.starts_with("pama"));
+        assert_eq!(results[0].total_gets, results[1].total_gets);
+    }
+}

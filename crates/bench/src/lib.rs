@@ -1,0 +1,17 @@
+//! # pama-bench
+//!
+//! The reproduction harness: one experiment per figure of the paper
+//! (Figs. 1, 3–10), plus extended comparisons and ablations. The
+//! `repro` binary dispatches by experiment id; each experiment builds
+//! its workload(s), fans the scheme × cache-size matrix across cores,
+//! writes CSV series under `results/`, and prints shape checks that
+//! mirror the paper's qualitative claims.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+pub mod output;
+
+pub use harness::{ScaledSetup, SchemeKind};

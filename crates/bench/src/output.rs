@@ -1,0 +1,159 @@
+//! Result output: CSV dumps, terminal tables, sparkline previews, and
+//! JSON archives under a results directory.
+
+use pama_core::metrics::RunResult;
+use pama_util::table::{downsample, fnum, sparkline, Table};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs land (override with `--out`).
+pub const DEFAULT_OUT_DIR: &str = "results";
+
+/// Ensures the output directory exists and returns it.
+pub fn out_dir(base: Option<&str>) -> PathBuf {
+    let p = PathBuf::from(base.unwrap_or(DEFAULT_OUT_DIR));
+    fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Writes a string to `dir/name`, announcing the path.
+pub fn write_file(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create output file");
+    f.write_all(contents.as_bytes()).expect("write output file");
+    println!("  wrote {}", path.display());
+}
+
+/// Serialises full run results as JSON for downstream tooling.
+pub fn write_results_json(dir: &Path, name: &str, results: &[RunResult]) {
+    let json = serde_json::to_string_pretty(results).expect("serialize results");
+    write_file(dir, name, &json);
+}
+
+/// A per-window series CSV: one row per window, one column per run.
+pub fn series_csv(
+    header_label: &str,
+    runs: &[(&str, Vec<f64>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(header_label);
+    for (name, _) in runs {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let max_len = runs.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..max_len {
+        out.push_str(&i.to_string());
+        for (_, s) in runs {
+            out.push(',');
+            if let Some(v) = s.get(i) {
+                out.push_str(&format!("{v:.6}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a summary table + sparklines for a set of runs sharing a
+/// cache size: overall and steady-state hit ratio / service time.
+pub fn print_run_summary(title: &str, results: &[RunResult], tail_windows: usize) {
+    println!("\n== {title} ==");
+    let mut t = Table::new(vec![
+        "scheme",
+        "hit%",
+        "hit%(tail)",
+        "svc(ms)",
+        "svc(ms,tail)",
+        "windows",
+    ]);
+    for r in results {
+        t.row(vec![
+            r.policy.clone(),
+            fnum(r.hit_ratio() * 100.0, 2),
+            fnum(r.steady_state_hit_ratio(tail_windows) * 100.0, 2),
+            fnum(r.avg_service().as_secs_f64() * 1e3, 2),
+            fnum(r.steady_state_service_secs(tail_windows) * 1e3, 2),
+            r.windows.len().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    for r in results {
+        let hr = downsample(&r.hit_ratio_series(), 60);
+        println!("  {:<14} hit {}", r.policy, sparkline(&hr));
+    }
+    for r in results {
+        let sv = downsample(&r.avg_service_series_secs(), 60);
+        println!("  {:<14} svc {}", r.policy, sparkline(&sv));
+    }
+}
+
+/// A named qualitative shape check: printed ✓/✗, collected for the
+/// experiment's exit summary.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// What the paper claims.
+    pub claim: String,
+    /// Whether the scaled run reproduced it.
+    pub pass: bool,
+    /// The measured numbers backing the verdict.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Creates and immediately prints a check.
+    pub fn new(claim: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
+        let c = Self { claim: claim.into(), pass, detail: detail.into() };
+        println!("  [{}] {} — {}", if c.pass { "PASS" } else { "MISS" }, c.claim, c.detail);
+        c
+    }
+}
+
+/// Prints the final tally and returns the number of failed checks.
+pub fn summarize_checks(checks: &[ShapeCheck]) -> usize {
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    println!(
+        "\nshape checks: {}/{} reproduced",
+        checks.len() - failed,
+        checks.len()
+    );
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_csv_shapes() {
+        let csv = series_csv(
+            "window",
+            &[("a", vec![1.0, 2.0]), ("b", vec![3.0])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "window,a,b");
+        assert!(lines[1].starts_with("0,1.000000,3.000000"));
+        // ragged series leave the short column empty
+        assert_eq!(lines[2], "1,2.000000,");
+    }
+
+    #[test]
+    fn shape_check_tally() {
+        let checks = vec![
+            ShapeCheck { claim: "x".into(), pass: true, detail: String::new() },
+            ShapeCheck { claim: "y".into(), pass: false, detail: String::new() },
+        ];
+        assert_eq!(summarize_checks(&checks), 1);
+    }
+
+    #[test]
+    fn out_dir_creates() {
+        let d = out_dir(Some("/tmp/pama-test-results"));
+        assert!(d.exists());
+        write_file(&d, "probe.txt", "hello");
+        assert_eq!(fs::read_to_string(d.join("probe.txt")).unwrap(), "hello");
+        let _ = fs::remove_dir_all("/tmp/pama-test-results");
+    }
+}

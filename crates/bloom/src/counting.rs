@@ -1,0 +1,192 @@
+//! Counting Bloom filter (extension).
+//!
+//! The paper works around Bloom filters' lack of deletion with the
+//! removal-filter protocol. The classic alternative is a *counting*
+//! Bloom filter: replace each bit with a small counter so members can be
+//! removed directly. It costs 4–8× the space. We implement it so the
+//! ablation bench (`bloom_vs_exact`) can compare the two designs'
+//! space/accuracy trade-off, supporting the paper's choice.
+
+use pama_util::hash::hash_u64;
+
+const SEED_A: u64 = 0x2b2e_3c5d_9f86_04a5;
+const SEED_B: u64 = 0x7b1c_4e55_93ad_21d7;
+
+/// A Bloom filter with 8-bit saturating counters supporting `remove`.
+///
+/// Counters saturate at 255 and, once saturated, are never decremented
+/// (standard practice: decrementing a saturated counter could
+/// introduce false negatives). `remove` of a non-member is a checked
+/// error in debug terms: it returns `false` and leaves state untouched
+/// when any probe counter is already zero.
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    k: u32,
+    inserted: usize,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter sized like a standard filter for `expected`
+    /// members at false-positive rate `fpp` (same formula, counters
+    /// instead of bits).
+    pub fn with_capacity(expected: usize, fpp: f64) -> Self {
+        let m = crate::params::optimal_bits(expected, fpp);
+        let k = crate::params::optimal_hashes(m, expected);
+        Self::with_counters(m, k)
+    }
+
+    /// Creates a filter with an explicit counter count and probe count.
+    ///
+    /// # Panics
+    /// Panics if `counters == 0` or `k == 0`.
+    pub fn with_counters(counters: usize, k: u32) -> Self {
+        assert!(counters > 0, "counters must be positive");
+        assert!(k > 0, "k must be positive");
+        Self { counters: vec![0; counters], k, inserted: 0 }
+    }
+
+    #[inline]
+    fn idx(&self, key: u64, i: u32) -> usize {
+        let h1 = hash_u64(key, SEED_A);
+        let h2 = hash_u64(key, SEED_B) | 1;
+        (h1.wrapping_add(h2.wrapping_mul(u64::from(i)))) as usize % self.counters.len()
+    }
+
+    /// Inserts a key (counters saturate at 255).
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.k {
+            let idx = self.idx(key, i);
+            self.counters[idx] = self.counters[idx].saturating_add(1);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership; same false-positive behaviour as a standard
+    /// Bloom filter.
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.k).all(|i| self.counters[self.idx(key, i)] > 0)
+    }
+
+    /// Removes a key. Returns `false` (and changes nothing) if the key
+    /// tests as a non-member — removing a non-member would corrupt other
+    /// members' counters.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        for i in 0..self.k {
+            let idx = self.idx(key, i);
+            // Saturated counters stay put; decrementing them could
+            // create false negatives for other members.
+            if self.counters[idx] != u8::MAX {
+                self.counters[idx] -= 1;
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+        true
+    }
+
+    /// Clears all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Net number of members (inserts minus successful removes).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Memory footprint of the counter array in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::{Rng, SplitMix64};
+
+    #[test]
+    fn insert_contains_remove_cycle() {
+        let mut f = CountingBloomFilter::with_capacity(100, 0.01);
+        f.insert(7);
+        f.insert(8);
+        assert!(f.contains(7));
+        assert!(f.contains(8));
+        assert!(f.remove(7));
+        assert!(!f.contains(7), "removed key still present");
+        assert!(f.contains(8), "removal damaged another member");
+    }
+
+    #[test]
+    fn remove_nonmember_is_rejected() {
+        let mut f = CountingBloomFilter::with_capacity(100, 0.001);
+        f.insert(1);
+        assert!(!f.remove(999_999));
+        assert!(f.contains(1));
+        assert_eq!(f.inserted(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::with_capacity(100, 0.01);
+        f.insert(5);
+        f.insert(5);
+        assert!(f.remove(5));
+        assert!(f.contains(5), "one copy should remain");
+        assert!(f.remove(5));
+        assert!(!f.contains(5));
+    }
+
+    #[test]
+    fn no_false_negatives_under_churn() {
+        let mut f = CountingBloomFilter::with_capacity(2000, 0.01);
+        let mut rng = SplitMix64::new(31);
+        let keys: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+        for &k in &keys {
+            f.insert(k);
+        }
+        // Remove the first half, then verify the second half all remain.
+        for &k in &keys[..500] {
+            assert!(f.remove(k));
+        }
+        for &k in &keys[500..] {
+            assert!(f.contains(k), "false negative after churn");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = CountingBloomFilter::with_counters(256, 3);
+        f.insert(1);
+        f.clear();
+        assert!(!f.contains(1));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn byte_size_is_counter_count() {
+        let f = CountingBloomFilter::with_counters(512, 3);
+        assert_eq!(f.byte_size(), 512);
+    }
+
+    #[test]
+    fn saturation_does_not_create_false_negatives() {
+        let mut f = CountingBloomFilter::with_counters(8, 2);
+        // Slam one tiny filter so counters saturate.
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        // Removing many members must never make a still-present member
+        // test negative (saturated counters are frozen).
+        for k in 0..5_000u64 {
+            f.remove(k);
+        }
+        for k in 5_000..5_100u64 {
+            assert!(f.contains(k));
+        }
+    }
+}

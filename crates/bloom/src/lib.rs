@@ -1,0 +1,33 @@
+//! # pama-bloom
+//!
+//! Bloom filters for PAMA's segment-membership tests (paper §III,
+//! challenge 3). On every GET the allocator must decide whether the
+//! requested key currently sits in one of the `m + 1` bottom segments of
+//! its subclass's LRU stack (or one of the ghost segments below it).
+//! Scanning the stack per access is too expensive and a hash table per
+//! segment costs space and locking, so the paper tests membership with
+//! one Bloom filter per segment plus a shared *removal filter* that
+//! masks items which left a segment after the snapshot was taken.
+//!
+//! This crate provides:
+//!
+//! * [`BloomFilter`] — a standard bit-array filter with double hashing
+//!   (Kirsch–Mitzenmacher), sized by [`params::optimal_bits`] /
+//!   [`params::optimal_hashes`];
+//! * [`SegmentedMembership`] — the paper's structure: per-segment
+//!   filters + one removal filter with the clear-on-readd rule;
+//! * [`CountingBloomFilter`] — an extension with 4-bit counters that
+//!   supports deletion directly, used by the ablation bench to compare
+//!   against the paper's removal-filter design.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counting;
+pub mod params;
+pub mod segment;
+pub mod standard;
+
+pub use counting::CountingBloomFilter;
+pub use segment::SegmentedMembership;
+pub use standard::BloomFilter;

@@ -1,0 +1,84 @@
+//! Bloom-filter sizing math.
+//!
+//! Standard results: for `n` expected members and a target false
+//! positive probability `p`, the optimal bit count is
+//! `m = -n·ln(p) / (ln 2)²` and the optimal number of hash functions is
+//! `k = (m/n)·ln 2`. The expected false-positive rate of a filter with
+//! `m` bits, `k` hashes, and `n` inserted members is
+//! `(1 - e^(-k·n/m))^k`.
+
+/// Optimal number of bits for `n` members at false-positive rate `p`.
+///
+/// Clamps to at least 64 bits. `p` is clamped into `(1e-12, 0.5]`.
+pub fn optimal_bits(n: usize, p: f64) -> usize {
+    let n = n.max(1) as f64;
+    let p = p.clamp(1e-12, 0.5);
+    let ln2_sq = std::f64::consts::LN_2 * std::f64::consts::LN_2;
+    let m = -n * p.ln() / ln2_sq;
+    (m.ceil() as usize).max(64)
+}
+
+/// Optimal number of hash probes for `m` bits and `n` members.
+///
+/// Clamps into `[1, 16]` — beyond 16 probes the cache misses outweigh
+/// the fpp gain for the filter sizes the allocator uses.
+pub fn optimal_hashes(m: usize, n: usize) -> u32 {
+    let k = (m.max(1) as f64 / n.max(1) as f64) * std::f64::consts::LN_2;
+    (k.round() as u32).clamp(1, 16)
+}
+
+/// Expected false-positive probability of a filter with `m` bits,
+/// `k` probes and `n` inserted members.
+pub fn expected_fpp(m: usize, k: u32, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let exponent = -(k as f64) * n as f64 / m.max(1) as f64;
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_sizing() {
+        // n=1000, p=1% → m ≈ 9585 bits, k ≈ 7.
+        let m = optimal_bits(1000, 0.01);
+        assert!((9585..=9600).contains(&m), "m = {m}");
+        assert_eq!(optimal_hashes(m, 1000), 7);
+    }
+
+    #[test]
+    fn fpp_matches_target_at_optimal_params() {
+        for &(n, p) in &[(100usize, 0.05f64), (10_000, 0.01), (1_000, 0.001)] {
+            let m = optimal_bits(n, p);
+            let k = optimal_hashes(m, n);
+            let fpp = expected_fpp(m, k, n);
+            assert!(fpp <= p * 1.2, "n={n} p={p}: fpp={fpp}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert!(optimal_bits(0, 0.01) >= 64);
+        assert_eq!(optimal_hashes(0, 0), 1);
+        assert_eq!(expected_fpp(1024, 4, 0), 0.0);
+        // p outside (0, 0.5] clamps instead of producing NaN
+        assert!(optimal_bits(10, 0.0) > 0);
+        assert!(optimal_bits(10, 2.0) >= 64);
+    }
+
+    #[test]
+    fn fpp_monotone_in_members() {
+        let m = 4096;
+        let k = 3;
+        let mut prev = 0.0;
+        for n in [1usize, 10, 100, 1000, 10_000] {
+            let f = expected_fpp(m, k, n);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!(prev <= 1.0);
+    }
+}

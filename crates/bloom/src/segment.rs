@@ -1,0 +1,264 @@
+//! The paper's segment-membership structure (§III, third challenge).
+//!
+//! A subclass's LRU stack bottom is split into segments `S0..=Sm`
+//! (plus ghost segments below the stack). PAMA needs, per GET, the
+//! index of the segment currently holding the requested key — or `None`.
+//! The paper's solution:
+//!
+//! * one Bloom filter per segment, populated when the segment snapshot
+//!   is (re)built;
+//! * one shared **removal filter** recording keys that *left* a segment
+//!   after the snapshot (in LRU, any accessed item moves to the stack
+//!   top, leaving the bottom region);
+//! * a membership claim by a segment filter only counts when the
+//!   removal filter does *not* contain the key;
+//! * when a key being **added** to a segment is found in the removal
+//!   filter, the removal filter is cleared wholesale — this keeps the
+//!   removal filter's semantics "contains only keys that are in no
+//!   segment", at the cost of occasionally forgetting removals (safe:
+//!   that direction only re-admits stale positives, which the paper
+//!   accepts because a removed item re-enters the bottom region only
+//!   after a long trip down the whole stack).
+
+use crate::standard::BloomFilter;
+
+/// Per-segment Bloom filters plus the shared removal filter.
+///
+/// See the module docs for the protocol. Typical lifecycle:
+///
+/// ```
+/// use pama_bloom::SegmentedMembership;
+///
+/// let mut m = SegmentedMembership::new(3, 100, 0.01);
+/// m.rebuild_segment(0, [1u64, 2, 3].iter().copied());
+/// m.rebuild_segment(1, [10u64, 20].iter().copied());
+/// assert_eq!(m.query(2), Some(0));
+/// m.note_removed(2);            // key 2 was accessed, left the bottom
+/// assert_eq!(m.query(2), None);
+/// m.add_to_segment(1, 42);      // a key sinking into segment 1
+/// assert_eq!(m.query(42), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedMembership {
+    segments: Vec<BloomFilter>,
+    removal: BloomFilter,
+    expected_per_segment: usize,
+    fpp: f64,
+    removal_clears: u64,
+}
+
+impl SegmentedMembership {
+    /// Creates `num_segments` empty segment filters, each sized for
+    /// `expected_per_segment` keys at false-positive rate `fpp`, plus a
+    /// removal filter sized for the whole region.
+    pub fn new(num_segments: usize, expected_per_segment: usize, fpp: f64) -> Self {
+        let segments = (0..num_segments)
+            .map(|i| BloomFilter::with_capacity_salted(expected_per_segment, fpp, i as u64 + 1))
+            .collect();
+        let removal =
+            BloomFilter::with_capacity_salted(expected_per_segment * num_segments.max(1), fpp, 0);
+        Self { segments, removal, expected_per_segment, fpp, removal_clears: 0 }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Replaces segment `i`'s filter with a fresh snapshot of `keys`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn rebuild_segment(&mut self, i: usize, keys: impl Iterator<Item = u64>) {
+        let f = &mut self.segments[i];
+        f.clear();
+        for k in keys {
+            f.insert(k);
+        }
+    }
+
+    /// Rebuilds all segments at once and empties the removal filter —
+    /// the window-boundary operation.
+    pub fn rebuild_all<'a, I, K>(&mut self, per_segment: I)
+    where
+        I: IntoIterator<Item = K>,
+        K: IntoIterator<Item = u64> + 'a,
+    {
+        let mut it = per_segment.into_iter();
+        for i in 0..self.segments.len() {
+            match it.next() {
+                Some(keys) => self.rebuild_segment(i, keys.into_iter()),
+                None => self.segments[i].clear(),
+            }
+        }
+        self.removal.clear();
+    }
+
+    /// Returns the lowest-indexed segment that (probabilistically)
+    /// contains `key`, unless the removal filter vetoes it.
+    #[inline]
+    pub fn query(&self, key: u64) -> Option<usize> {
+        // One removal probe amortised over all segment probes: the
+        // removal veto applies identically to every segment.
+        let mut hit = None;
+        for (i, f) in self.segments.iter().enumerate() {
+            if f.contains(key) {
+                hit = Some(i);
+                break;
+            }
+        }
+        match hit {
+            Some(i) if !self.removal.contains(key) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Records that `key` left the segment region (it was accessed and
+    /// moved to the stack top, or was deleted).
+    #[inline]
+    pub fn note_removed(&mut self, key: u64) {
+        self.removal.insert(key);
+    }
+
+    /// Adds `key` to segment `i` (a key sinking into the tracked region
+    /// between snapshots). Implements the paper's rule: if the key is in
+    /// the removal filter, the removal filter is cleared first.
+    pub fn add_to_segment(&mut self, i: usize, key: u64) {
+        if self.removal.contains(key) {
+            self.removal.clear();
+            self.removal_clears += 1;
+        }
+        self.segments[i].insert(key);
+    }
+
+    /// How many times the clear-on-readd rule fired (diagnostic; a high
+    /// rate means the removal filter is undersized for the churn).
+    pub fn removal_clears(&self) -> u64 {
+        self.removal_clears
+    }
+
+    /// Total bytes across all filters.
+    pub fn byte_size(&self) -> usize {
+        self.segments.iter().map(BloomFilter::byte_size).sum::<usize>()
+            + self.removal.byte_size()
+    }
+
+    /// Grows or shrinks the number of segments, preserving existing
+    /// filters where possible (new segments start empty).
+    pub fn resize_segments(&mut self, num_segments: usize) {
+        let old = self.segments.len();
+        if num_segments < old {
+            self.segments.truncate(num_segments);
+        } else {
+            for i in old..num_segments {
+                self.segments.push(BloomFilter::with_capacity_salted(
+                    self.expected_per_segment,
+                    self.fpp,
+                    i as u64 + 1,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> SegmentedMembership {
+        let mut m = SegmentedMembership::new(3, 64, 0.001);
+        m.rebuild_segment(0, (0..10u64).map(|i| i + 100));
+        m.rebuild_segment(1, (0..10u64).map(|i| i + 200));
+        m.rebuild_segment(2, (0..10u64).map(|i| i + 300));
+        m
+    }
+
+    #[test]
+    fn query_finds_right_segment() {
+        let m = build();
+        assert_eq!(m.query(105), Some(0));
+        assert_eq!(m.query(205), Some(1));
+        assert_eq!(m.query(305), Some(2));
+        assert_eq!(m.query(999), None);
+    }
+
+    #[test]
+    fn removal_vetoes_membership() {
+        let mut m = build();
+        assert_eq!(m.query(100), Some(0));
+        m.note_removed(100);
+        assert_eq!(m.query(100), None);
+        // other members unaffected
+        assert_eq!(m.query(101), Some(0));
+    }
+
+    #[test]
+    fn clear_on_readd_restores_visibility() {
+        let mut m = build();
+        m.note_removed(205);
+        assert_eq!(m.query(205), None);
+        // The same key sinks back into a segment: removal filter must be
+        // cleared so the new membership is visible.
+        m.add_to_segment(1, 205);
+        assert_eq!(m.query(205), Some(1));
+        assert_eq!(m.removal_clears(), 1);
+    }
+
+    #[test]
+    fn add_without_conflict_does_not_clear() {
+        let mut m = build();
+        m.note_removed(100);
+        m.add_to_segment(2, 777); // 777 was never removed
+        assert_eq!(m.removal_clears(), 0);
+        assert_eq!(m.query(100), None, "removal filter must survive");
+        assert_eq!(m.query(777), Some(2));
+    }
+
+    #[test]
+    fn rebuild_all_resets_removals() {
+        let mut m = build();
+        m.note_removed(100);
+        m.rebuild_all(vec![vec![100u64], vec![], vec![]]);
+        assert_eq!(m.query(100), Some(0), "rebuild must forget removals");
+        assert_eq!(m.query(200), None, "old snapshot must be gone");
+    }
+
+    #[test]
+    fn rebuild_all_with_fewer_groups_clears_rest() {
+        let mut m = build();
+        m.rebuild_all(vec![vec![1u64]]);
+        assert_eq!(m.query(1), Some(0));
+        assert_eq!(m.query(205), None);
+        assert_eq!(m.query(305), None);
+    }
+
+    #[test]
+    fn lowest_segment_wins_on_overlap() {
+        let mut m = SegmentedMembership::new(2, 16, 0.001);
+        m.rebuild_segment(0, std::iter::once(5));
+        m.rebuild_segment(1, std::iter::once(5));
+        assert_eq!(m.query(5), Some(0));
+    }
+
+    #[test]
+    fn resize_preserves_and_extends() {
+        let mut m = build();
+        m.resize_segments(5);
+        assert_eq!(m.num_segments(), 5);
+        assert_eq!(m.query(105), Some(0));
+        m.add_to_segment(4, 42);
+        assert_eq!(m.query(42), Some(4));
+        m.resize_segments(1);
+        assert_eq!(m.num_segments(), 1);
+        assert_eq!(m.query(105), Some(0));
+        assert_eq!(m.query(205), None);
+    }
+
+    #[test]
+    fn byte_size_accounts_all_filters() {
+        let m = SegmentedMembership::new(4, 128, 0.01);
+        assert!(m.byte_size() > 0);
+        let bigger = SegmentedMembership::new(8, 128, 0.01);
+        assert!(bigger.byte_size() > m.byte_size());
+    }
+}

@@ -1,0 +1,290 @@
+//! Cache geometry and engine configuration.
+//!
+//! Mirrors the paper's setup (§II–§IV):
+//!
+//! * memory is allocated in fixed-size **slabs** (1 MB in Memcached;
+//!   configurable here so scaled experiments keep a realistic slab
+//!   count);
+//! * **class** *i* stores items of total size ≤ `min_slot · 2^i`
+//!   ("the first class stores items of 64 bytes or smaller, the second
+//!   … 128 bytes"; doubling growth);
+//! * PAMA splits classes into **subclasses** by miss-penalty band —
+//!   the paper's five bands are (0,1 ms], (1,10 ms], (10,100 ms],
+//!   (100 ms,1 s], (1 s,5 s];
+//! * metrics are windowed by **GET count** ("time window (1 million
+//!   GET requests)"), not wall clock.
+
+use pama_util::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The paper's five penalty-band upper bounds.
+pub fn default_penalty_bands() -> Vec<SimDuration> {
+    vec![
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(1000),
+        SimDuration::from_secs(5),
+    ]
+}
+
+/// Geometry and behaviour of the simulated cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache memory in bytes.
+    pub total_bytes: u64,
+    /// Slab size in bytes (Memcached: 1 MiB). Must be a power of two.
+    pub slab_bytes: u64,
+    /// Slot size of class 0 in bytes (paper: 64). Must be a power of
+    /// two; class `i` has slot size `min_slot << i`, up to `slab_bytes`.
+    pub min_slot: u64,
+    /// Constant per-item metadata overhead added to `key + value` bytes
+    /// before class assignment. The paper's class rule speaks of item
+    /// sizes directly, so the default is 0; set to ~56 to model
+    /// Memcached's item header instead.
+    pub item_overhead: u32,
+    /// Penalty-band upper bounds for subclassing, ascending. The last
+    /// bound also caps item penalties.
+    pub penalty_bands: Vec<SimDuration>,
+    /// Service time charged for a hit (network + cache lookup).
+    pub hit_time: SimDuration,
+    /// Penalty assumed for keys with no known penalty (paper: 100 ms).
+    pub default_penalty: SimDuration,
+    /// Install items on GET misses (demand fill), the way a real
+    /// client's miss→SET pair would.
+    pub demand_fill: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            total_bytes: 256 << 20,
+            slab_bytes: 1 << 20,
+            min_slot: 64,
+            item_overhead: 0,
+            penalty_bands: default_penalty_bands(),
+            hit_time: SimDuration::from_micros(100),
+            default_penalty: SimDuration::from_millis(100),
+            demand_fill: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with the given cache size and defaults elsewhere.
+    pub fn with_total_bytes(total_bytes: u64) -> Self {
+        Self { total_bytes, ..Self::default() }
+    }
+
+    /// Validates the geometry, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.slab_bytes.is_power_of_two() {
+            return Err(format!("slab_bytes {} is not a power of two", self.slab_bytes));
+        }
+        if !self.min_slot.is_power_of_two() {
+            return Err(format!("min_slot {} is not a power of two", self.min_slot));
+        }
+        if self.min_slot > self.slab_bytes {
+            return Err("min_slot exceeds slab_bytes".into());
+        }
+        if self.total_bytes < self.slab_bytes {
+            return Err("cache smaller than one slab".into());
+        }
+        if self.penalty_bands.is_empty() {
+            return Err("need at least one penalty band".into());
+        }
+        if self.penalty_bands.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("penalty bands must be strictly ascending".into());
+        }
+        Ok(())
+    }
+
+    /// Number of slabs the cache can hold.
+    pub fn total_slabs(&self) -> usize {
+        (self.total_bytes / self.slab_bytes) as usize
+    }
+
+    /// Number of size classes: class slot sizes run from `min_slot`
+    /// doubling up to `slab_bytes` inclusive.
+    pub fn num_classes(&self) -> usize {
+        (self.slab_bytes.trailing_zeros() - self.min_slot.trailing_zeros() + 1) as usize
+    }
+
+    /// Slot size of class `c` in bytes.
+    pub fn slot_bytes(&self, class: usize) -> u64 {
+        self.min_slot << class
+    }
+
+    /// Slots per slab in class `c`.
+    pub fn slots_per_slab(&self, class: usize) -> usize {
+        (self.slab_bytes / self.slot_bytes(class)) as usize
+    }
+
+    /// Class for an item of `key_size + value_size` bytes, or `None`
+    /// when the item exceeds the largest slot (uncacheable, like a
+    /// > 1 MB Memcached item).
+    pub fn class_of(&self, key_size: u32, value_size: u32) -> Option<usize> {
+        let bytes =
+            u64::from(key_size) + u64::from(value_size) + u64::from(self.item_overhead);
+        let bytes = bytes.max(1);
+        if bytes > self.slab_bytes {
+            return None;
+        }
+        let slots_needed = bytes.div_ceil(self.min_slot).next_power_of_two();
+        Some(slots_needed.trailing_zeros() as usize)
+    }
+
+    /// Number of penalty bands (subclasses per class).
+    pub fn num_bands(&self) -> usize {
+        self.penalty_bands.len()
+    }
+
+    /// Band index for a penalty: the first band whose upper bound is
+    /// ≥ the (capped) penalty.
+    pub fn band_of(&self, penalty: SimDuration) -> usize {
+        let capped = penalty.min(*self.penalty_bands.last().unwrap());
+        self.penalty_bands
+            .iter()
+            .position(|&b| capped <= b)
+            .unwrap_or(self.penalty_bands.len() - 1)
+    }
+
+    /// The penalty used for an item: the request-supplied one when
+    /// known, else the configured default; capped at the top band.
+    pub fn effective_penalty(&self, known: Option<SimDuration>) -> SimDuration {
+        let p = known.unwrap_or(self.default_penalty);
+        p.min(*self.penalty_bands.last().unwrap())
+    }
+}
+
+/// Engine-level configuration: windowing and run bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// GETs per metrics window (paper: 10^6; scaled runs use less).
+    pub window_gets: u64,
+    /// Capture per-class slab allocation snapshots each window
+    /// (Figs. 3–4 need them; disable for pure-throughput benches).
+    pub snapshot_allocations: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { window_gets: 1_000_000, snapshot_allocations: true }
+    }
+}
+
+/// A timestamped simulation instant paired with its GET index; handed
+/// to policies that want either notion of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick {
+    /// Simulated wall-clock of the current request.
+    pub now: SimTime,
+    /// Number of requests processed before this one.
+    pub serial: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = CacheConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.total_slabs(), 256);
+        // 64 B .. 1 MiB doubling = 15 classes
+        assert_eq!(c.num_classes(), 15);
+        assert_eq!(c.slot_bytes(0), 64);
+        assert_eq!(c.slot_bytes(14), 1 << 20);
+        assert_eq!(c.slots_per_slab(0), 16384);
+        assert_eq!(c.slots_per_slab(14), 1);
+    }
+
+    #[test]
+    fn class_of_follows_paper_rule() {
+        let c = CacheConfig::default();
+        // ≤ 64 B → class 0; ≤ 128 B → class 1; doubling after
+        assert_eq!(c.class_of(16, 40), Some(0)); // 56 B
+        assert_eq!(c.class_of(16, 48), Some(0)); // 64 B exactly
+        assert_eq!(c.class_of(16, 49), Some(1)); // 65 B
+        assert_eq!(c.class_of(16, 112), Some(1)); // 128 B
+        assert_eq!(c.class_of(16, 113), Some(2));
+        assert_eq!(c.class_of(1, 1 << 20), None); // key pushes over 1 MiB
+        assert_eq!(c.class_of(0, 1 << 20), Some(14)); // exactly 1 MiB fits
+        assert_eq!(c.class_of(0, 0), Some(0), "degenerate zero-byte item");
+    }
+
+    #[test]
+    fn item_overhead_shifts_classes() {
+        let mut c = CacheConfig::default();
+        c.item_overhead = 56;
+        assert_eq!(c.class_of(16, 40), Some(1)); // 112 B with overhead
+    }
+
+    #[test]
+    fn band_of_matches_paper_ranges() {
+        let c = CacheConfig::default();
+        assert_eq!(c.num_bands(), 5);
+        assert_eq!(c.band_of(SimDuration::from_micros(500)), 0);
+        assert_eq!(c.band_of(SimDuration::from_millis(1)), 0);
+        assert_eq!(c.band_of(SimDuration::from_micros(1_001)), 1);
+        assert_eq!(c.band_of(SimDuration::from_millis(10)), 1);
+        assert_eq!(c.band_of(SimDuration::from_millis(99)), 2);
+        assert_eq!(c.band_of(SimDuration::from_millis(900)), 3);
+        assert_eq!(c.band_of(SimDuration::from_secs(3)), 4);
+        // above the cap clamps into the last band
+        assert_eq!(c.band_of(SimDuration::from_secs(60)), 4);
+    }
+
+    #[test]
+    fn effective_penalty_caps_and_defaults() {
+        let c = CacheConfig::default();
+        assert_eq!(c.effective_penalty(None), SimDuration::from_millis(100));
+        assert_eq!(
+            c.effective_penalty(Some(SimDuration::from_secs(30))),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            c.effective_penalty(Some(SimDuration::from_millis(3))),
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut c = CacheConfig::default();
+        c.slab_bytes = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::default();
+        c.min_slot = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::default();
+        c.total_bytes = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::default();
+        c.penalty_bands = vec![];
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::default();
+        c.penalty_bands =
+            vec![SimDuration::from_millis(10), SimDuration::from_millis(10)];
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::default();
+        c.min_slot = 2 << 20;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn single_band_config_works() {
+        let mut c = CacheConfig::default();
+        c.penalty_bands = vec![SimDuration::from_secs(5)];
+        c.validate().unwrap();
+        assert_eq!(c.band_of(SimDuration::from_millis(1)), 0);
+        assert_eq!(c.band_of(SimDuration::from_secs(10)), 0);
+    }
+}

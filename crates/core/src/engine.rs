@@ -1,0 +1,254 @@
+//! The simulation engine: drives a request stream through a policy and
+//! collects the paper's metrics.
+//!
+//! Service-time model (§IV): a GET hit costs `hit_time`; a GET miss
+//! costs the key's miss penalty (request-supplied, or the 100 ms
+//! default when unknown, capped at 5 s). "In the calculation of the
+//! metric values we only consider GET \[requests\], as they tend to
+//! impose high miss penalty and directly affect user-visible service
+//! quality" — SET/DELETE/REPLACE are processed but not timed. Metrics
+//! are windowed by GET count.
+
+use crate::config::{EngineConfig, Tick};
+use crate::metrics::{RunResult, WindowMetrics};
+use crate::policy::Policy;
+use pama_trace::{Op, Request};
+use pama_util::SimDuration;
+
+/// Drives requests through a [`Policy`]. See the module docs.
+#[derive(Debug)]
+pub struct Engine<P: Policy> {
+    policy: P,
+    ecfg: EngineConfig,
+    windows: Vec<WindowMetrics>,
+    cur: WindowMetrics,
+    total_gets: u64,
+    total_hits: u64,
+    total_service_us: u64,
+    total_requests: u64,
+    workload: String,
+}
+
+impl<P: Policy> Engine<P> {
+    /// Creates an engine around a policy.
+    pub fn new(policy: P, ecfg: EngineConfig) -> Self {
+        Self {
+            policy,
+            ecfg,
+            windows: Vec::new(),
+            cur: empty_window(0),
+            total_gets: 0,
+            total_hits: 0,
+            total_service_us: 0,
+            total_requests: 0,
+            workload: String::new(),
+        }
+    }
+
+    /// Labels the run's workload in the produced [`RunResult`].
+    pub fn with_workload_label(mut self, label: impl Into<String>) -> Self {
+        self.workload = label.into();
+        self
+    }
+
+    /// Read access to the policy mid-run (tests, probes).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Processes one request.
+    pub fn step(&mut self, req: &Request) {
+        let tick = Tick { now: req.time, serial: self.total_requests };
+        self.total_requests += 1;
+        match req.op {
+            Op::Get => {
+                let outcome = self.policy.on_get(req, tick);
+                let service = if outcome.hit {
+                    self.policy.cache().cfg().hit_time
+                } else {
+                    self.policy.cache().cfg().effective_penalty(req.penalty())
+                };
+                self.record_get(outcome.hit, outcome.filled, service);
+            }
+            Op::Set => self.policy.on_set(req, tick),
+            Op::Delete => self.policy.on_delete(req, tick),
+            Op::Replace => self.policy.on_replace(req, tick),
+        }
+    }
+
+    fn record_get(&mut self, hit: bool, filled: bool, service: SimDuration) {
+        self.cur.gets += 1;
+        self.cur.hits += u64::from(hit);
+        self.cur.service_us_sum += service.as_micros();
+        if !hit {
+            self.cur.penalty_us_sum += service.as_micros();
+            if !filled {
+                self.cur.uncached_fills += 1;
+            }
+        }
+        self.total_gets += 1;
+        self.total_hits += u64::from(hit);
+        self.total_service_us += service.as_micros();
+        if self.cur.gets >= self.ecfg.window_gets {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        if self.ecfg.snapshot_allocations {
+            self.cur.alloc = Some(self.policy.allocation());
+        }
+        self.policy.end_window();
+        let next = self.cur.window + 1;
+        self.windows.push(std::mem::replace(&mut self.cur, empty_window(next)));
+    }
+
+    /// Processes a whole request stream.
+    pub fn run(&mut self, reqs: impl IntoIterator<Item = Request>) {
+        for r in reqs {
+            self.step(&r);
+        }
+    }
+
+    /// Finishes the run: closes any partial window and returns the
+    /// result.
+    pub fn finish(mut self) -> RunResult {
+        if self.cur.gets > 0 {
+            self.close_window();
+        }
+        RunResult {
+            policy: self.policy.name(),
+            workload: self.workload,
+            cache_bytes: self.policy.cache().cfg().total_bytes,
+            windows: self.windows,
+            total_gets: self.total_gets,
+            total_hits: self.total_hits,
+            total_service_us: self.total_service_us,
+            total_requests: self.total_requests,
+        }
+    }
+
+    /// Convenience: run a stream to completion and finish.
+    pub fn run_to_result(
+        policy: P,
+        ecfg: EngineConfig,
+        workload: impl Into<String>,
+        reqs: impl IntoIterator<Item = Request>,
+    ) -> RunResult {
+        let mut e = Engine::new(policy, ecfg).with_workload_label(workload);
+        e.run(reqs);
+        e.finish()
+    }
+}
+
+fn empty_window(idx: u64) -> WindowMetrics {
+    WindowMetrics {
+        window: idx,
+        gets: 0,
+        hits: 0,
+        service_us_sum: 0,
+        penalty_us_sum: 0,
+        uncached_fills: 0,
+        alloc: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::policy::MemcachedOriginal;
+    use pama_util::SimTime;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            total_bytes: 8 << 10,
+            slab_bytes: 4 << 10,
+            min_slot: 64,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn get(key: u64, t: u64) -> Request {
+        Request::get(SimTime::from_micros(t), key, 8, 40)
+            .with_penalty(SimDuration::from_millis(50))
+    }
+
+    #[test]
+    fn service_time_model() {
+        let p = MemcachedOriginal::new(cfg());
+        let ecfg = EngineConfig { window_gets: 10, snapshot_allocations: true };
+        // key 1: miss (50ms) then hit (100µs)
+        let r = Engine::run_to_result(p, ecfg, "t", vec![get(1, 0), get(1, 1)]);
+        assert_eq!(r.total_gets, 2);
+        assert_eq!(r.total_hits, 1);
+        assert_eq!(r.total_service_us, 50_000 + 100);
+        assert!((r.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_split_on_get_count() {
+        let p = MemcachedOriginal::new(cfg());
+        let ecfg = EngineConfig { window_gets: 3, snapshot_allocations: true };
+        let reqs: Vec<Request> = (0..7).map(|i| get(i, i)).collect();
+        let r = Engine::run_to_result(p, ecfg, "t", reqs);
+        assert_eq!(r.windows.len(), 3);
+        assert_eq!(r.windows[0].gets, 3);
+        assert_eq!(r.windows[1].gets, 3);
+        assert_eq!(r.windows[2].gets, 1, "partial last window");
+        assert!(r.windows[0].alloc.is_some());
+        assert_eq!(r.windows[0].window, 0);
+        assert_eq!(r.windows[2].window, 2);
+    }
+
+    #[test]
+    fn sets_and_deletes_do_not_count_as_gets() {
+        let p = MemcachedOriginal::new(cfg());
+        let ecfg = EngineConfig::default();
+        let reqs = vec![
+            Request::set(SimTime::ZERO, 1, 8, 40),
+            Request::delete(SimTime::from_micros(1), 1, 8),
+            get(2, 2),
+        ];
+        let r = Engine::run_to_result(p, ecfg, "t", reqs);
+        assert_eq!(r.total_gets, 1);
+        assert_eq!(r.total_requests, 3);
+    }
+
+    #[test]
+    fn snapshots_can_be_disabled() {
+        let p = MemcachedOriginal::new(cfg());
+        let ecfg = EngineConfig { window_gets: 2, snapshot_allocations: false };
+        let r = Engine::run_to_result(p, ecfg, "t", vec![get(1, 0), get(2, 1)]);
+        assert!(r.windows[0].alloc.is_none());
+    }
+
+    #[test]
+    fn uncached_fills_are_counted() {
+        let mut c = cfg();
+        c.total_bytes = 4 << 10;
+        let p = MemcachedOriginal::new(c);
+        let ecfg = EngineConfig::default();
+        // big item takes the slab; small item then cannot be cached
+        let reqs = vec![
+            Request::get(SimTime::ZERO, 9, 8, 4000),
+            get(1, 1),
+            get(2, 2),
+        ];
+        let r = Engine::run_to_result(p, ecfg, "t", reqs);
+        assert_eq!(r.windows[0].uncached_fills, 2);
+    }
+
+    #[test]
+    fn default_penalty_charged_for_unknown() {
+        let p = MemcachedOriginal::new(cfg());
+        let ecfg = EngineConfig::default();
+        let r = Engine::run_to_result(
+            p,
+            ecfg,
+            "t",
+            vec![Request::get(SimTime::ZERO, 1, 8, 40)], // no penalty info
+        );
+        assert_eq!(r.total_service_us, 100_000);
+    }
+}

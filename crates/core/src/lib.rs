@@ -1,0 +1,68 @@
+//! # pama-core
+//!
+//! The PAMA reproduction's core: an exact slab-cache simulator, the
+//! **Penalty-Aware Memory Allocation** scheme of Ou et al. (ICPP'15),
+//! and every baseline the paper compares against or discusses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pama_core::config::{CacheConfig, EngineConfig};
+//! use pama_core::engine::Engine;
+//! use pama_core::policy::Pama;
+//! use pama_trace::Request;
+//! use pama_util::{SimDuration, SimTime};
+//!
+//! let cache = CacheConfig {
+//!     total_bytes: 4 << 20,
+//!     slab_bytes: 1 << 20,
+//!     ..CacheConfig::default()
+//! };
+//! let reqs = (0..10_000u64).map(|i| {
+//!     Request::get(SimTime::from_micros(i), i % 512, 16, 100)
+//!         .with_penalty(SimDuration::from_millis(20))
+//! });
+//! let result = Engine::run_to_result(
+//!     Pama::new(cache),
+//!     EngineConfig { window_gets: 2_000, ..EngineConfig::default() },
+//!     "quickstart",
+//!     reqs,
+//! );
+//! assert!(result.hit_ratio() > 0.9);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`config`] | cache geometry, penalty bands, engine windowing |
+//! | [`cache`] | the slab/class/queue substrate with exact accounting |
+//! | [`lru`] | arena-backed intrusive LRU lists |
+//! | [`segments`] | PAMA's segment-value trackers (exact & Bloom) |
+//! | [`reuse`] | reuse-distance tracking + MRC allocation (LAMA-lite) |
+//! | [`policy`] | PAMA, pre-PAMA, PSA, Memcached, Facebook, Twemcache, LAMA-lite, global LRU |
+//! | [`engine`] | the request-driven simulator |
+//! | [`metrics`] | per-window metrics and run results |
+//! | [`sweep`] | parallel multi-scheme / multi-size campaign runner |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod lru;
+pub mod metrics;
+pub mod policy;
+pub mod reuse;
+pub mod segments;
+pub mod sweep;
+
+pub use cache::BaseCache;
+pub use config::{CacheConfig, EngineConfig};
+pub use engine::Engine;
+pub use metrics::{RunResult, WindowMetrics};
+pub use policy::{
+    FacebookAge, GlobalLru, LamaLite, MemcachedOriginal, Pama, PamaConfig, Policy, Psa,
+    Twemcache,
+};

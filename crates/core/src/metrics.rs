@@ -1,0 +1,221 @@
+//! Per-window metrics — the data behind every figure in the paper.
+//!
+//! The paper reports hit ratio and average GET service time "in each
+//! time window (1 million GET requests)" plus per-class slab-allocation
+//! time series. [`WindowMetrics`] is one such sample; [`RunResult`] is
+//! a whole run with series extractors used by the figure harness.
+
+use pama_util::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of the allocator state at a window boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSnapshot {
+    /// Slabs per class.
+    pub per_class_slabs: Vec<u32>,
+    /// Live items per (class, band); slot units.
+    pub per_subclass_slots: Vec<Vec<u64>>,
+}
+
+/// Metrics of one window of GETs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// 0-based window index.
+    pub window: u64,
+    /// GETs in the window (the last window may be short).
+    pub gets: u64,
+    /// Hits among those GETs.
+    pub hits: u64,
+    /// Sum of service times over the window's GETs, in µs.
+    pub service_us_sum: u64,
+    /// Sum of miss penalties charged, in µs (excludes hit time).
+    pub penalty_us_sum: u64,
+    /// Number of GET misses whose item could not be cached afterwards
+    /// (class starved of slabs).
+    pub uncached_fills: u64,
+    /// Allocation snapshot at the window's end (when enabled).
+    pub alloc: Option<AllocSnapshot>,
+}
+
+impl WindowMetrics {
+    /// Hit ratio in \[0,1\].
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Mean GET service time.
+    pub fn avg_service(&self) -> SimDuration {
+        if self.gets == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.service_us_sum / self.gets)
+        }
+    }
+}
+
+/// A complete run: the scheme's name, every window, and totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name (e.g. "pama(m=2)").
+    pub policy: String,
+    /// Workload label.
+    pub workload: String,
+    /// Cache size in bytes.
+    pub cache_bytes: u64,
+    /// Per-window samples.
+    pub windows: Vec<WindowMetrics>,
+    /// Total GETs over the run.
+    pub total_gets: u64,
+    /// Total hits over the run.
+    pub total_hits: u64,
+    /// Total service µs over the run.
+    pub total_service_us: u64,
+    /// Total requests of any kind processed.
+    pub total_requests: u64,
+}
+
+impl RunResult {
+    /// Overall hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.total_gets == 0 {
+            0.0
+        } else {
+            self.total_hits as f64 / self.total_gets as f64
+        }
+    }
+
+    /// Overall mean GET service time.
+    pub fn avg_service(&self) -> SimDuration {
+        if self.total_gets == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.total_service_us / self.total_gets)
+        }
+    }
+
+    /// Per-window hit-ratio series (Figs. 5, 7, 9a).
+    pub fn hit_ratio_series(&self) -> Vec<f64> {
+        self.windows.iter().map(WindowMetrics::hit_ratio).collect()
+    }
+
+    /// Per-window mean-service-time series in seconds (Figs. 6, 8,
+    /// 9b, 10).
+    pub fn avg_service_series_secs(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.avg_service().as_secs_f64()).collect()
+    }
+
+    /// Slab-count series of one class (Fig. 3): one point per window.
+    /// Empty when snapshots were disabled.
+    pub fn class_slab_series(&self, class: usize) -> Vec<u32> {
+        self.windows
+            .iter()
+            .filter_map(|w| w.alloc.as_ref())
+            .map(|a| a.per_class_slabs.get(class).copied().unwrap_or(0))
+            .collect()
+    }
+
+    /// Slot-usage series of one subclass (Fig. 4).
+    pub fn subclass_slot_series(&self, class: usize, band: usize) -> Vec<u64> {
+        self.windows
+            .iter()
+            .filter_map(|w| w.alloc.as_ref())
+            .map(|a| {
+                a.per_subclass_slots
+                    .get(class)
+                    .and_then(|b| b.get(band))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Mean of the window hit ratios over the last `k` windows —
+    /// "when the service time curves stabilize" comparisons (§IV-B).
+    pub fn steady_state_hit_ratio(&self, k: usize) -> f64 {
+        tail_mean(&self.hit_ratio_series(), k)
+    }
+
+    /// Mean window service time (seconds) over the last `k` windows.
+    pub fn steady_state_service_secs(&self, k: usize) -> f64 {
+        tail_mean(&self.avg_service_series_secs(), k)
+    }
+}
+
+fn tail_mean(xs: &[f64], k: usize) -> f64 {
+    if xs.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let tail = &xs[xs.len().saturating_sub(k)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(window: u64, gets: u64, hits: u64, service_us: u64) -> WindowMetrics {
+        WindowMetrics {
+            window,
+            gets,
+            hits,
+            service_us_sum: service_us,
+            penalty_us_sum: service_us,
+            uncached_fills: 0,
+            alloc: Some(AllocSnapshot {
+                per_class_slabs: vec![window as u32, 2],
+                per_subclass_slots: vec![vec![window, 1], vec![0, 3]],
+            }),
+        }
+    }
+
+    fn run() -> RunResult {
+        RunResult {
+            policy: "test".into(),
+            workload: "wl".into(),
+            cache_bytes: 1 << 20,
+            windows: vec![w(0, 100, 50, 1_000_000), w(1, 100, 80, 400_000)],
+            total_gets: 200,
+            total_hits: 130,
+            total_service_us: 1_400_000,
+            total_requests: 250,
+        }
+    }
+
+    #[test]
+    fn window_ratios() {
+        let x = w(0, 100, 50, 1_000_000);
+        assert!((x.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(x.avg_service(), SimDuration::from_micros(10_000));
+        let empty = w(0, 0, 0, 0);
+        assert_eq!(empty.hit_ratio(), 0.0);
+        assert_eq!(empty.avg_service(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn run_totals_and_series() {
+        let r = run();
+        assert!((r.hit_ratio() - 0.65).abs() < 1e-12);
+        assert_eq!(r.avg_service(), SimDuration::from_micros(7_000));
+        assert_eq!(r.hit_ratio_series(), vec![0.5, 0.8]);
+        let svc = r.avg_service_series_secs();
+        assert!((svc[0] - 0.01).abs() < 1e-9);
+        assert!((svc[1] - 0.004).abs() < 1e-9);
+        assert_eq!(r.class_slab_series(0), vec![0, 1]);
+        assert_eq!(r.class_slab_series(99), vec![0, 0]);
+        assert_eq!(r.subclass_slot_series(0, 0), vec![0, 1]);
+        assert_eq!(r.subclass_slot_series(1, 1), vec![3, 3]);
+    }
+
+    #[test]
+    fn steady_state_tail_means() {
+        let r = run();
+        assert!((r.steady_state_hit_ratio(1) - 0.8).abs() < 1e-12);
+        assert!((r.steady_state_hit_ratio(2) - 0.65).abs() < 1e-12);
+        assert!((r.steady_state_hit_ratio(99) - 0.65).abs() < 1e-12);
+        assert_eq!(r.steady_state_hit_ratio(0), 0.0);
+    }
+}

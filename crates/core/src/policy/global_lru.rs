@@ -1,0 +1,239 @@
+//! A single global LRU with byte-granular capacity — the reference
+//! point slab schemes approximate.
+//!
+//! The Facebook rebalancer explicitly "attempts to … approximate a
+//! single global LRU replacement policy for the entire cache" (paper
+//! §II). This policy *is* that ideal: no slabs, no classes, eviction
+//! strictly by global recency, capacity counted in item bytes. It is
+//! not realisable in a real allocator (it ignores fragmentation), which
+//! is why it serves only as an upper-bound reference for hit-ratio
+//! comparisons in the extended bench.
+//!
+//! Implementation detail: it still *reports* a per-class allocation
+//! snapshot (byte-equivalent slab counts) so the figure harness can
+//! plot it next to the slab policies. Internally it reuses
+//! [`BaseCache`] with one giant class-less queue by dedicating a
+//! 1-slot-per-item accounting trick: we bypass `BaseCache` and keep
+//! our own queue + byte ledger, implementing the [`Policy`] snapshot
+//! methods directly.
+
+use super::{GetOutcome, Policy};
+use crate::cache::{BaseCache, ItemMeta};
+use crate::config::{CacheConfig, Tick};
+use crate::lru::LruList;
+use crate::metrics::AllocSnapshot;
+use pama_trace::Request;
+use pama_util::FastMap;
+
+/// The global-LRU upper-bound reference.
+#[derive(Debug, Clone)]
+pub struct GlobalLru {
+    cfg: CacheConfig,
+    queue: LruList<ItemMeta>,
+    index: FastMap<u64, crate::lru::NodeRef>,
+    used_bytes: u64,
+    /// Kept only so [`Policy::cache`] has something to return for the
+    /// shared engine plumbing (always empty).
+    shadow: BaseCache,
+}
+
+impl GlobalLru {
+    /// Creates the policy.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self {
+            shadow: BaseCache::new(cfg.clone(), 1),
+            cfg,
+            queue: LruList::new(),
+            index: FastMap::default(),
+            used_bytes: 0,
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of items held.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn item_bytes(&self, m: &ItemMeta) -> u64 {
+        u64::from(m.key_size) + u64::from(m.value_size) + u64::from(self.cfg.item_overhead)
+    }
+
+    fn remove_key(&mut self, key: u64) -> Option<ItemMeta> {
+        let node = self.index.remove(&key)?;
+        let m = self.queue.remove(node);
+        self.used_bytes -= u64::from(m.key_size)
+            + u64::from(m.value_size)
+            + u64::from(self.cfg.item_overhead);
+        Some(m)
+    }
+
+    /// Builds metadata without the slab-size gate: the global LRU is
+    /// the no-slab-constraint ideal, so any item up to the whole cache
+    /// is admissible. The class field is advisory (for snapshots).
+    fn meta_unconstrained(&self, req: &Request, tick: Tick) -> ItemMeta {
+        let class = self.cfg.class_of(req.key_size, req.value_size).unwrap_or(0);
+        ItemMeta {
+            key: req.key,
+            key_size: req.key_size,
+            value_size: req.value_size,
+            penalty: self.cfg.effective_penalty(req.penalty()),
+            class: class as u32,
+            band: 0,
+            last_access: tick.now,
+        }
+    }
+
+    fn insert_evicting(&mut self, meta: ItemMeta) -> bool {
+        let need = self.item_bytes(&meta);
+        if need > self.cfg.total_bytes {
+            return false;
+        }
+        while self.used_bytes + need > self.cfg.total_bytes {
+            match self.queue.pop_back() {
+                Some(victim) => {
+                    self.index.remove(&victim.key);
+                    self.used_bytes -= self.item_bytes(&victim);
+                }
+                None => break,
+            }
+        }
+        let node = self.queue.push_front(meta);
+        self.index.insert(meta.key, node);
+        self.used_bytes += need;
+        true
+    }
+}
+
+impl Policy for GlobalLru {
+    fn name(&self) -> String {
+        "global-lru".into()
+    }
+
+    fn on_get(&mut self, req: &Request, tick: Tick) -> GetOutcome {
+        if let Some(&node) = self.index.get(&req.key) {
+            self.queue.move_to_front(node);
+            self.queue.get_mut(node).last_access = tick.now;
+            return GetOutcome::HIT;
+        }
+        let mut filled = false;
+        if self.cfg.demand_fill {
+            let meta = self.meta_unconstrained(req, tick);
+            filled = self.insert_evicting(meta);
+        }
+        GetOutcome { hit: false, filled }
+    }
+
+    fn on_set(&mut self, req: &Request, tick: Tick) {
+        let meta = self.meta_unconstrained(req, tick);
+        self.remove_key(meta.key);
+        self.insert_evicting(meta);
+    }
+
+    fn on_delete(&mut self, req: &Request, _tick: Tick) {
+        self.remove_key(req.key);
+    }
+
+    fn cache(&self) -> &BaseCache {
+        &self.shadow
+    }
+
+    fn allocation(&self) -> AllocSnapshot {
+        // Byte-equivalent "slabs" per class for plotting parity.
+        let nc = self.cfg.num_classes();
+        let mut bytes_per_class = vec![0u64; nc];
+        for m in self.queue.iter() {
+            if let Some(c) = self.cfg.class_of(m.key_size, m.value_size) {
+                bytes_per_class[c] +=
+                    u64::from(m.key_size) + u64::from(m.value_size);
+            }
+        }
+        AllocSnapshot {
+            per_class_slabs: bytes_per_class
+                .iter()
+                .map(|&b| (b / self.cfg.slab_bytes) as u32)
+                .collect(),
+            per_subclass_slots: bytes_per_class.iter().map(|&b| vec![b]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::SimTime;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            total_bytes: 4 << 10,
+            slab_bytes: 1 << 10,
+            min_slot: 64,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn tick(n: u64) -> Tick {
+        Tick { now: SimTime::from_micros(n), serial: n }
+    }
+
+    fn get(key: u64, vs: u32) -> Request {
+        Request::get(SimTime::ZERO, key, 8, vs)
+    }
+
+    #[test]
+    fn evicts_strictly_by_recency_across_sizes() {
+        let mut p = GlobalLru::new(cfg());
+        p.on_get(&get(1, 1000), tick(0)); // 1008 B
+        p.on_get(&get(2, 56), tick(1)); // 64 B
+        p.on_get(&get(3, 2000), tick(2)); // 2008 B
+        assert_eq!(p.len(), 3);
+        // touch 1 so 2 becomes LRU
+        p.on_get(&get(1, 1000), tick(3));
+        // big insert forces evictions in recency order: 2, then 3
+        p.on_get(&get(4, 3000), tick(4));
+        assert!(p.index.contains_key(&4));
+        assert!(!p.index.contains_key(&2), "LRU item survived");
+        assert!(!p.index.contains_key(&3));
+        assert!(p.index.contains_key(&1));
+        assert!(p.used_bytes() <= 4096);
+    }
+
+    #[test]
+    fn oversized_item_rejected() {
+        let mut p = GlobalLru::new(cfg());
+        let o = p.on_get(&get(1, 5000), tick(0));
+        assert!(!o.filled);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn set_replaces_bytes_accounting() {
+        let mut p = GlobalLru::new(cfg());
+        p.on_set(&Request::set(SimTime::ZERO, 1, 8, 100), tick(0));
+        let b1 = p.used_bytes();
+        p.on_set(&Request::set(SimTime::ZERO, 1, 8, 500), tick(1));
+        assert_eq!(p.used_bytes(), b1 + 400);
+        assert_eq!(p.len(), 1);
+        p.on_delete(&Request::delete(SimTime::ZERO, 1, 8), tick(2));
+        assert_eq!(p.used_bytes(), 0);
+    }
+
+    #[test]
+    fn allocation_snapshot_reports_byte_shares() {
+        let mut p = GlobalLru::new(cfg());
+        p.on_get(&get(1, 56), tick(0));
+        p.on_get(&get(2, 1000), tick(1));
+        let a = p.allocation();
+        assert_eq!(a.per_subclass_slots[0][0], 64);
+        assert_eq!(a.per_subclass_slots[4][0], 1008);
+    }
+}

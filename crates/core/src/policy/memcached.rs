@@ -1,0 +1,183 @@
+//! Original Memcached: no slab reallocation.
+//!
+//! Paper §II: "In the earlier versions of Memcached … after the initial
+//! memory space is exhausted, the allocations to the classes will not
+//! change." Classes greedily take slabs from the free pool during
+//! warm-up; once the pool is empty every miss is served by in-class LRU
+//! eviction, and a class that never got a slab can never cache anything.
+//! This is the paper's worst-performing baseline and demonstrates "a
+//! strong need of enabling slab relocation" (§IV-A).
+
+use super::{insert_with_room, meta_for, standard_set, GetOutcome, Policy};
+use crate::cache::BaseCache;
+use crate::config::{CacheConfig, Tick};
+use pama_trace::Request;
+
+/// The no-reallocation baseline.
+#[derive(Debug, Clone)]
+pub struct MemcachedOriginal {
+    cache: BaseCache,
+}
+
+impl MemcachedOriginal {
+    /// Creates the policy over a fresh cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self { cache: BaseCache::new(cfg, 1) }
+    }
+
+    /// In-class LRU eviction only; a slab never moves between classes.
+    fn make_room(cache: &mut BaseCache, class: usize) -> bool {
+        cache.evict_tail(class, 0).is_some()
+    }
+}
+
+impl Policy for MemcachedOriginal {
+    fn name(&self) -> String {
+        "memcached".into()
+    }
+
+    fn on_get(&mut self, req: &Request, tick: Tick) -> GetOutcome {
+        if self.cache.touch(req.key, tick.now).is_some() {
+            return GetOutcome::HIT;
+        }
+        let mut filled = false;
+        if self.cache.cfg().demand_fill {
+            if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
+                let class = meta.class as usize;
+                filled = insert_with_room(&mut self.cache, meta, |c| {
+                    Self::make_room(c, class)
+                });
+            }
+        }
+        GetOutcome { hit: false, filled }
+    }
+
+    fn on_set(&mut self, req: &Request, tick: Tick) {
+        if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
+            let class = meta.class as usize;
+            standard_set(&mut self.cache, meta, |c| Self::make_room(c, class));
+        }
+    }
+
+    fn on_delete(&mut self, req: &Request, _tick: Tick) {
+        self.cache.remove(req.key);
+    }
+
+    fn cache(&self) -> &BaseCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::{SimDuration, SimTime};
+
+    fn tick(n: u64) -> Tick {
+        Tick { now: SimTime::from_micros(n), serial: n }
+    }
+
+    fn tiny_cfg() -> CacheConfig {
+        CacheConfig {
+            total_bytes: 8 << 10, // 2 slabs
+            slab_bytes: 4 << 10,
+            min_slot: 64,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn get(key: u64, vs: u32) -> Request {
+        Request::get(SimTime::ZERO, key, 8, vs)
+    }
+
+    #[test]
+    fn demand_fill_then_hit() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        let r = get(1, 40);
+        let o = p.on_get(&r, tick(0));
+        assert!(!o.hit);
+        assert!(o.filled);
+        assert!(p.on_get(&r, tick(1)).hit);
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_cross_class_stealing() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        // Exhaust both slabs on class 6 (slot 4096, 1 per slab).
+        for k in 0..2 {
+            p.on_get(&get(100 + k, 4000), tick(k));
+        }
+        assert_eq!(p.cache().free_slabs(), 0);
+        // A small item now misses and cannot be cached: class 0 has no
+        // slab and must not steal one.
+        let o = p.on_get(&get(1, 40), tick(10));
+        assert!(!o.hit);
+        assert!(!o.filled, "class without slabs must not cache");
+        assert_eq!(p.cache().class(0).slabs, 0);
+        assert_eq!(p.cache().class(6).slabs, 2);
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn in_class_lru_eviction() {
+        let mut cfg = tiny_cfg();
+        cfg.total_bytes = 4 << 10; // one slab
+        let mut p = MemcachedOriginal::new(cfg);
+        // class 5 (slot 2048): 2 slots. Insert 3 items → first evicted.
+        for k in 0..3 {
+            p.on_get(&get(k, 2000), tick(k));
+        }
+        assert!(!p.cache().contains(0));
+        assert!(p.cache().contains(1));
+        assert!(p.cache().contains(2));
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_delete_cycle() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        let s = Request::set(SimTime::ZERO, 7, 8, 100)
+            .with_penalty(SimDuration::from_millis(20));
+        p.on_set(&s, tick(0));
+        assert!(p.cache().contains(7));
+        assert_eq!(p.cache().peek(7).unwrap().penalty, SimDuration::from_millis(20));
+        p.on_delete(&Request::delete(SimTime::ZERO, 7, 8), tick(1));
+        assert!(!p.cache().contains(7));
+    }
+
+    #[test]
+    fn set_resize_moves_class() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        p.on_set(&Request::set(SimTime::ZERO, 7, 8, 40), tick(0));
+        assert_eq!(p.cache().peek(7).unwrap().class, 0);
+        p.on_set(&Request::set(SimTime::ZERO, 7, 8, 400), tick(1));
+        let m = p.cache().peek(7).unwrap();
+        assert_eq!(m.class, 3); // 408 B → ≤512 slot
+        assert_eq!(p.cache().len(), 1);
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oversized_items_are_not_cached() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        let o = p.on_get(&get(1, 5000), tick(0)); // > 4 KiB slab
+        assert!(!o.hit);
+        assert!(!o.filled);
+        assert_eq!(p.cache().len(), 0);
+    }
+
+    #[test]
+    fn replace_only_updates_resident() {
+        let mut p = MemcachedOriginal::new(tiny_cfg());
+        let r = Request {
+            op: pama_trace::Op::Replace,
+            ..Request::set(SimTime::ZERO, 9, 8, 40)
+        };
+        p.on_replace(&r, tick(0));
+        assert!(!p.cache().contains(9), "REPLACE of absent key is a no-op");
+        p.on_set(&Request::set(SimTime::ZERO, 9, 8, 40), tick(1));
+        p.on_replace(&r, tick(2));
+        assert!(p.cache().contains(9));
+    }
+}

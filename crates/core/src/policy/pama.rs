@@ -1,0 +1,785 @@
+//! PAMA — Penalty-Aware Memory Allocation (paper §III).
+//!
+//! Structure recap:
+//!
+//! * items are classed by size (slab classes) and sub-classed by miss
+//!   penalty band; each subclass runs its own LRU stack, so locality is
+//!   compared only among items of similar size *and* penalty;
+//! * every subclass's bottom slab-worth of items is its **candidate
+//!   (virtual) slab**; its value is the Eq. 2 weighted blend of the
+//!   bottom `m + 1` segments' accumulated miss penalties;
+//! * a bounded ghost extension per subclass tracks recently evicted
+//!   keys (key + penalty only), giving the **incoming value** — the
+//!   penalty that an extra slab would have saved;
+//! * on a miss in a full cache, the globally cheapest candidate slab is
+//!   selected. A **cross-class migration** happens only when the
+//!   missing subclass's incoming value exceeds that cheapest outgoing
+//!   value; otherwise (and whenever the cheapest candidate already
+//!   lives in the missing item's class) a single in-class LRU eviction
+//!   serves the request — the paper's two no-migration scenarios.
+//!
+//! **pre-PAMA** (the paper's ablation) is this same policy with
+//! [`PamaConfig::count_mode`] set: segment values count requests
+//! instead of summing penalties, and a single penalty band is used —
+//! turning the scheme into a purely locality/size-aware allocator.
+
+use super::{meta_for, GetOutcome, Policy};
+use crate::cache::{BaseCache, InsertOutcome, ItemMeta};
+use crate::config::{CacheConfig, Tick};
+use crate::lru::{LruList, NodeRef};
+use crate::segments::{chunk_segments, MembershipMode, SubclassTracker};
+use pama_trace::Request;
+use pama_util::{FastMap, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// PAMA tuning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PamaConfig {
+    /// Number of reference segments `m` (paper default: 2; Fig. 10
+    /// sweeps 0/2/4/8).
+    pub m: usize,
+    /// Accesses between segment-snapshot rebuilds (the value window;
+    /// "the time window … refers to the number of accesses on the
+    /// entire cache"). Ghost entries only become creditable once a
+    /// snapshot has stamped them, so the window must be short relative
+    /// to ghost-list churn: on eviction-heavy workloads a long window
+    /// lets evictees age out of the bounded ghost lists unstamped and
+    /// starves the incoming-value signal (measured on the APP
+    /// campaign; the ablation bench sweeps this knob).
+    pub value_window: u64,
+    /// pre-PAMA mode: segment values count requests instead of summing
+    /// penalties. The penalty-band subclass structure is untouched —
+    /// the paper's pre-PAMA differs from PAMA *only* in "the
+    /// calculation of a segment's value" (§IV).
+    pub count_mode: bool,
+    /// Segment membership engine.
+    pub membership: MembershipMode,
+    /// Minimum accesses between two cross-class slab migrations.
+    ///
+    /// The paper stabilises values with the `m` reference segments but
+    /// leaves migration *frequency* unbounded; an unbounded rate lets a
+    /// ping-pong loop form under heavy miss pressure (a migration's
+    /// evictees are re-referenced, building the victim's incoming value
+    /// until it steals a slab straight back, evicting the thief's fresh
+    /// items, …). Production Memcached rate-limits its slab_automove
+    /// for the same reason. Between permitted migrations, misses fall
+    /// back to in-class LRU replacement. The `ablation` bench measures
+    /// the thrash without it.
+    pub migration_cooldown: u64,
+}
+
+impl Default for PamaConfig {
+    fn default() -> Self {
+        Self {
+            m: 2,
+            value_window: 25_000,
+            count_mode: false,
+            membership: MembershipMode::Exact,
+            migration_cooldown: 64,
+        }
+    }
+}
+
+impl PamaConfig {
+    /// The paper's pre-PAMA ablation configuration.
+    pub fn pre_pama() -> Self {
+        Self { count_mode: true, ..Self::default() }
+    }
+}
+
+/// Sentinel for "evicted after the last snapshot": not yet part of any
+/// ghost segment.
+const GHOST_UNSNAPPED: u8 = u8::MAX;
+
+/// One ghost entry: the key, the penalty it carried when evicted, and
+/// the ghost-segment index stamped at the last snapshot
+/// ([`GHOST_UNSNAPPED`] for entries newer than the snapshot).
+#[derive(Debug, Clone, Copy)]
+struct GhostEntry {
+    key: u64,
+    penalty: SimDuration,
+    snap_seg: u8,
+}
+
+impl Default for GhostEntry {
+    fn default() -> Self {
+        Self { key: 0, penalty: SimDuration::ZERO, snap_seg: GHOST_UNSNAPPED }
+    }
+}
+
+/// Bounded per-subclass ghost list (front = newest evictee) — the
+/// paper's "extended section [that] only records keys and miss
+/// penalties".
+///
+/// Ghost **segments** are snapshot sets, symmetric with the stack
+/// side: at each window rebuild the list's entries are stamped with
+/// their position-derived segment (the newest `spslab` form the
+/// receiving segment G0, the next `spslab` G1, …); only stamped
+/// entries credit incoming value when re-referenced, and each can
+/// credit once (it leaves the list). Entries ghosted after the
+/// snapshot wait for the next stamp. Without this bound a hot, fast-
+/// churning subclass pushes an unbounded stream of evictees through
+/// the receiving segment and its measured incoming value dwarfs any
+/// candidate's outgoing value — the slab-hoarding failure mode the
+/// harness measured before the fix.
+#[derive(Debug, Clone, Default)]
+struct GhostList {
+    list: LruList<GhostEntry>,
+    index: FastMap<u64, NodeRef>,
+    cap: usize,
+    spslab: usize,
+}
+
+impl GhostList {
+    fn new(cap: usize, spslab: usize) -> Self {
+        Self {
+            list: LruList::new(),
+            index: FastMap::default(),
+            cap: cap.max(1),
+            spslab: spslab.max(1),
+        }
+    }
+
+    /// Pushes an evictee; returns the entry that aged out, if any.
+    fn push(&mut self, key: u64, penalty: SimDuration) -> Option<GhostEntry> {
+        if let Some(node) = self.index.remove(&key) {
+            // Re-evicted while still ghosted: refresh position.
+            self.list.remove(node);
+        }
+        let e = GhostEntry { key, penalty, snap_seg: GHOST_UNSNAPPED };
+        let node = self.list.push_front(e);
+        self.index.insert(key, node);
+        if self.list.len() > self.cap {
+            let old = self.list.pop_back()?;
+            self.index.remove(&old.key);
+            return Some(old);
+        }
+        None
+    }
+
+    fn remove(&mut self, key: u64) -> Option<GhostEntry> {
+        let node = self.index.remove(&key)?;
+        Some(self.list.remove(node))
+    }
+
+    /// Window-boundary stamp: every entry gets its current
+    /// position-derived segment.
+    fn snapshot(&mut self) {
+        let spslab = self.spslab;
+        self.list.for_each_front_mut(|pos, e| {
+            e.snap_seg = (pos / spslab).min(GHOST_UNSNAPPED as usize - 1) as u8;
+        });
+    }
+
+    /// Ghost segment of an entry, if it was present at the last
+    /// snapshot.
+    fn segment_of(e: &GhostEntry) -> Option<usize> {
+        (e.snap_seg != GHOST_UNSNAPPED).then_some(e.snap_seg as usize)
+    }
+
+    #[cfg(test)]
+    fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+}
+
+/// The PAMA policy (and, in count mode, pre-PAMA).
+#[derive(Debug, Clone)]
+pub struct Pama {
+    cache: BaseCache,
+    pcfg: PamaConfig,
+    /// One tracker per (class, band), row-major by class.
+    trackers: Vec<SubclassTracker>,
+    /// One ghost list per (class, band).
+    ghosts: Vec<GhostList>,
+    /// Which keys are ghosted where: key → subclass index.
+    ghost_where: FastMap<u64, u32>,
+    accesses: u64,
+    migrations: u64,
+    rebuilds: u64,
+    /// Access serial before which no migration may happen.
+    next_migration_at: u64,
+}
+
+impl Pama {
+    /// Creates PAMA with default tuning.
+    pub fn new(cache_cfg: CacheConfig) -> Self {
+        Self::with_config(cache_cfg, PamaConfig::default())
+    }
+
+    /// Creates pre-PAMA (the penalty-blind ablation).
+    pub fn pre_pama(cache_cfg: CacheConfig) -> Self {
+        Self::with_config(cache_cfg, PamaConfig::pre_pama())
+    }
+
+    /// Creates PAMA with explicit tuning.
+    pub fn with_config(cache_cfg: CacheConfig, pcfg: PamaConfig) -> Self {
+        let bands = cache_cfg.num_bands();
+        let cache = BaseCache::new(cache_cfg, bands);
+        let nc = cache.num_classes();
+        let mut trackers = Vec::with_capacity(nc * bands);
+        let mut ghosts = Vec::with_capacity(nc * bands);
+        for c in 0..nc {
+            let spslab = cache.cfg().slots_per_slab(c);
+            for _ in 0..bands {
+                trackers.push(SubclassTracker::new(pcfg.m, spslab, pcfg.membership));
+                ghosts.push(GhostList::new((pcfg.m + 1) * spslab, spslab));
+            }
+        }
+        Self {
+            cache,
+            pcfg,
+            trackers,
+            ghosts,
+            ghost_where: FastMap::default(),
+            accesses: 0,
+            migrations: 0,
+            rebuilds: 0,
+            next_migration_at: 0,
+        }
+    }
+
+    /// The PAMA tuning in effect.
+    pub fn pama_config(&self) -> &PamaConfig {
+        &self.pcfg
+    }
+
+    /// Cross-class slab migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Snapshot rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    #[inline]
+    fn bands(&self) -> usize {
+        self.cache.bands()
+    }
+
+    #[inline]
+    fn sub(&self, class: usize, band: usize) -> usize {
+        class * self.bands() + band
+    }
+
+    /// Segment-value weight of an item: its penalty in seconds, or 1
+    /// per request in pre-PAMA count mode.
+    #[inline]
+    fn weight(&self, penalty: SimDuration) -> f64 {
+        if self.pcfg.count_mode {
+            1.0
+        } else {
+            penalty.as_secs_f64()
+        }
+    }
+
+    /// Band for a penalty (identical in both modes: pre-PAMA keeps the
+    /// subclass structure).
+    #[inline]
+    fn band_of(&self, penalty: SimDuration) -> usize {
+        self.cache.cfg().band_of(penalty)
+    }
+
+    fn ghost_push(&mut self, class: usize, band: usize, meta: &ItemMeta) {
+        let s = self.sub(class, band);
+        self.trackers[s].on_evict(meta.key);
+        if let Some(aged) = self.ghosts[s].push(meta.key, meta.penalty) {
+            self.ghost_where.remove(&aged.key);
+        }
+        self.ghost_where.insert(meta.key, s as u32);
+    }
+
+    fn ghost_forget(&mut self, key: u64) {
+        if let Some(s) = self.ghost_where.remove(&key) {
+            self.ghosts[s as usize].remove(key);
+        }
+    }
+
+    /// A GET missed in the cache: credit the ghost segment that held
+    /// the key, if any, with the would-have-been-saved penalty.
+    fn credit_ghost_miss(&mut self, key: u64) {
+        if let Some(&s) = self.ghost_where.get(&key) {
+            let s = s as usize;
+            if let Some(entry) = self.ghosts[s].remove(key) {
+                if let Some(seg) = GhostList::segment_of(&entry) {
+                    let w = self.weight(entry.penalty);
+                    self.trackers[s].credit_ghost(seg, w);
+                }
+            }
+            self.ghost_where.remove(&key);
+        }
+    }
+
+    /// Eligibility + outgoing value of every candidate slab; returns
+    /// the global minimum as `(class, band, value)`.
+    ///
+    /// A subclass in the *requesting* class is eligible with any
+    /// non-empty queue (one eviction frees one compatible slot). A
+    /// foreign subclass is eligible only when surrendering its
+    /// candidate slab can actually free a physical slab:
+    /// `queue_len + class_free_slots ≥ slots_per_slab`.
+    fn cheapest_candidate(&self, req_class: usize) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for c in 0..self.cache.num_classes() {
+            let spslab = self.cache.cfg().slots_per_slab(c);
+            let free = self.cache.free_slots(c);
+            for b in 0..self.bands() {
+                let qlen = self.cache.class(c).queues[b].len();
+                let eligible = if c == req_class {
+                    qlen > 0
+                } else {
+                    self.cache.class(c).slabs > 0 && qlen + free >= spslab
+                };
+                if !eligible {
+                    continue;
+                }
+                let v = self.trackers[self.sub(c, b)].outgoing();
+                if best.map_or(true, |(_, _, bv)| v < bv) {
+                    best = Some((c, b, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// The no-migration fallback: evict one item from the requesting
+    /// class's least-valuable non-empty subclass. Returns `true` when a
+    /// slot was freed.
+    fn evict_within_class(&mut self, class: usize) -> bool {
+        let victim_band = (0..self.bands())
+            .filter(|&b| !self.cache.class(class).queues[b].is_empty())
+            .min_by(|&a, &b| {
+                let va = self.trackers[self.sub(class, a)].outgoing();
+                let vb = self.trackers[self.sub(class, b)].outgoing();
+                va.partial_cmp(&vb).unwrap()
+            });
+        let Some(b) = victim_band else {
+            return false;
+        };
+        if let Some(victim) = self.cache.evict_tail(class, b) {
+            self.ghost_push(class, b, &victim);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The §III allocation decision for an insert that found no free
+    /// slot and no free slab. Returns whether a slot for `class` became
+    /// available.
+    fn make_room(&mut self, class: usize, band: usize) -> bool {
+        let Some((c_star, b_star, v_out)) = self.cheapest_candidate(class) else {
+            return false;
+        };
+        if c_star == class {
+            // Scenario 2 of the paper: the cheapest candidate lives in
+            // the requesting class — replace one item, no migration.
+            if let Some(victim) = self.cache.evict_tail(c_star, b_star) {
+                self.ghost_push(c_star, b_star, &victim);
+                return true;
+            }
+            return false;
+        }
+        let v_in = self.trackers[self.sub(class, band)].incoming();
+        if v_in > v_out && self.accesses >= self.next_migration_at {
+            // Migrate the cheapest candidate slab to the missing class.
+            let mut evicted = Vec::new();
+            if self.cache.migrate_slab(c_star, b_star, class, |m| evicted.push(m)) {
+                for m in evicted {
+                    self.ghost_push(m.class as usize, m.band as usize, &m);
+                }
+                self.migrations += 1;
+                self.next_migration_at = self.accesses + self.pcfg.migration_cooldown;
+                return true;
+            }
+            // Fall through to in-class eviction if the migration
+            // unexpectedly failed.
+        }
+        // Scenario 1: migration would not pay — replace within the
+        // requesting class instead.
+        self.evict_within_class(class)
+    }
+
+    /// Insert with the PAMA decision procedure.
+    ///
+    /// An item that cannot be stored still enters its subclass's ghost
+    /// **receiving segment**: it is precisely an item that one more
+    /// slab would have cached, so its future re-reference is incoming
+    /// evidence. This also bootstraps starved classes, which otherwise
+    /// could never accumulate incoming value (ghosts normally come
+    /// from evictions, and a slabless class never evicts).
+    fn pama_insert(&mut self, meta: ItemMeta) -> bool {
+        self.ghost_forget(meta.key);
+        let stored = match self.cache.insert(meta) {
+            InsertOutcome::Stored | InsertOutcome::StoredWithNewSlab => true,
+            InsertOutcome::NoSpace => {
+                self.make_room(meta.class as usize, meta.band as usize)
+                    && matches!(
+                        self.cache.insert(meta),
+                        InsertOutcome::Stored | InsertOutcome::StoredWithNewSlab
+                    )
+            }
+        };
+        if !stored {
+            self.ghost_push(meta.class as usize, meta.band as usize, &meta);
+        }
+        stored
+    }
+
+    fn meta_with_band(&self, req: &Request, tick: Tick) -> Option<ItemMeta> {
+        let mut meta = meta_for(self.cache.cfg(), req, tick, false)?;
+        meta.band = self.band_of(meta.penalty) as u32;
+        Some(meta)
+    }
+
+    fn note_access(&mut self) {
+        self.accesses += 1;
+        if self.accesses % self.pcfg.value_window == 0 {
+            self.rebuild_snapshots();
+        }
+    }
+
+    /// Window boundary: re-snapshot every subclass's bottom segments
+    /// and ghost segments, and decay values.
+    fn rebuild_snapshots(&mut self) {
+        self.rebuilds += 1;
+        for c in 0..self.cache.num_classes() {
+            let spslab = self.cache.cfg().slots_per_slab(c);
+            for b in 0..self.bands() {
+                let s = self.sub(c, b);
+                let take = (self.pcfg.m + 1) * spslab;
+                let stack: Vec<Vec<u64>> = chunk_segments(
+                    self.cache.class(c).queues[b]
+                        .iter_from_back(take)
+                        .map(|m| m.key),
+                    self.pcfg.m,
+                    spslab,
+                );
+                self.trackers[s].rebuild(&stack);
+                self.ghosts[s].snapshot();
+            }
+        }
+    }
+}
+
+impl Policy for Pama {
+    fn name(&self) -> String {
+        let base = if self.pcfg.count_mode { "pre-pama" } else { "pama" };
+        let mut name = format!("{base}(m={}", self.pcfg.m);
+        let d = PamaConfig::default();
+        if self.pcfg.value_window != d.value_window {
+            name.push_str(&format!(",vw={}", self.pcfg.value_window));
+        }
+        if self.pcfg.migration_cooldown != d.migration_cooldown {
+            name.push_str(&format!(",cd={}", self.pcfg.migration_cooldown));
+        }
+        if matches!(self.pcfg.membership, MembershipMode::Bloom { .. }) {
+            name.push_str(",bloom");
+        }
+        name.push(')');
+        name
+    }
+
+    fn on_get(&mut self, req: &Request, tick: Tick) -> GetOutcome {
+        self.note_access();
+        if let Some(meta) = self.cache.touch(req.key, tick.now) {
+            let w = self.weight(meta.penalty);
+            let s = self.sub(meta.class as usize, meta.band as usize);
+            self.trackers[s].on_hit(req.key, w);
+            return GetOutcome::HIT;
+        }
+        self.credit_ghost_miss(req.key);
+        let mut filled = false;
+        if self.cache.cfg().demand_fill {
+            if let Some(meta) = self.meta_with_band(req, tick) {
+                filled = self.pama_insert(meta);
+            }
+        }
+        GetOutcome { hit: false, filled }
+    }
+
+    fn on_set(&mut self, req: &Request, tick: Tick) {
+        self.note_access();
+        let Some(meta) = self.meta_with_band(req, tick) else {
+            return;
+        };
+        if let Some(old) = self.cache.peek(meta.key) {
+            if old.class == meta.class && old.band == meta.band {
+                self.cache.update_in_place(meta);
+                return;
+            }
+            // The update moves the item to another subclass: it leaves
+            // its old stack without becoming a ghost (the data is still
+            // cached).
+            self.cache.remove(meta.key);
+            let s = self.sub(old.class as usize, old.band as usize);
+            self.trackers[s].on_remove(meta.key);
+        }
+        self.pama_insert(meta);
+    }
+
+    fn on_delete(&mut self, req: &Request, _tick: Tick) {
+        self.note_access();
+        if let Some(old) = self.cache.remove(req.key) {
+            let s = self.sub(old.class as usize, old.band as usize);
+            self.trackers[s].on_remove(req.key);
+        }
+        // A deleted key's value is invalidated: caching more space
+        // could not have avoided a future miss on it, so any ghost
+        // credit must vanish too.
+        self.ghost_forget(req.key);
+    }
+
+    fn cache(&self) -> &BaseCache {
+        &self.cache
+    }
+
+    fn end_window(&mut self) {
+        // Metrics windows and value windows are independent; nothing to
+        // do here (rebuilds are access-count driven).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::SimTime;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            total_bytes: 8 << 10, // 2 slabs of 4 KiB
+            slab_bytes: 4 << 10,
+            min_slot: 64,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn pcfg() -> PamaConfig {
+        PamaConfig { value_window: 50, ..PamaConfig::default() }
+    }
+
+    fn tick(n: u64) -> Tick {
+        Tick { now: SimTime::from_micros(n), serial: n }
+    }
+
+    fn get_p(key: u64, vs: u32, penalty_ms: u64) -> Request {
+        Request::get(SimTime::ZERO, key, 8, vs)
+            .with_penalty(SimDuration::from_millis(penalty_ms))
+    }
+
+    #[test]
+    fn ghost_list_bounds_and_refreshes() {
+        let mut g = GhostList::new(3, 1);
+        for k in 1..=3u64 {
+            assert!(g.push(k, SimDuration::from_millis(k)).is_none());
+        }
+        assert_eq!(g.len(), 3);
+        // overflow drops the oldest (key 1)
+        let aged = g.push(4, SimDuration::ZERO).unwrap();
+        assert_eq!(aged.key, 1);
+        assert!(!g.contains(1));
+        assert!(g.contains(4));
+        // re-push of a resident key refreshes, no overflow
+        assert!(g.push(2, SimDuration::ZERO).is_none());
+        assert_eq!(g.len(), 3);
+        // removal
+        assert_eq!(g.remove(3).unwrap().key, 3);
+        assert!(g.remove(3).is_none());
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn ghost_segments_stamp_at_snapshot() {
+        let mut g = GhostList::new(12, 4);
+        for k in 0..9u64 {
+            g.push(k, SimDuration::ZERO);
+        }
+        // before any snapshot nothing is creditable
+        let e8 = g.remove(8).unwrap();
+        assert_eq!(GhostList::segment_of(&e8), None);
+        g.snapshot();
+        // newest 4 present entries → segment 0; next 4 → segment 1
+        let e7 = g.remove(7).unwrap();
+        assert_eq!(GhostList::segment_of(&e7), Some(0));
+        let e0 = g.remove(0).unwrap();
+        assert_eq!(GhostList::segment_of(&e0), Some(1));
+        // a post-snapshot evictee is unstamped until the next snapshot
+        g.push(100, SimDuration::ZERO);
+        let e100 = g.remove(100).unwrap();
+        assert_eq!(GhostList::segment_of(&e100), None);
+    }
+
+    #[test]
+    fn subclass_assignment_by_penalty() {
+        let mut p = Pama::with_config(cfg(), pcfg());
+        p.on_get(&get_p(1, 40, 5), tick(0)); // band 1 (1..10ms]
+        p.on_get(&get_p(2, 40, 500), tick(1)); // band 3
+        let m1 = p.cache().peek(1).unwrap();
+        let m2 = p.cache().peek(2).unwrap();
+        assert_eq!(m1.band, 1);
+        assert_eq!(m2.band, 3);
+        assert_eq!(m1.class, m2.class);
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pre_pama_keeps_penalty_bands_but_counts_requests() {
+        let mut p = Pama::pre_pama(cfg());
+        p.on_get(&get_p(1, 40, 5), tick(0));
+        p.on_get(&get_p(2, 40, 4000), tick(1));
+        // Subclassing is unchanged (the paper's pre-PAMA alters only
+        // the value function).
+        assert_eq!(p.cache().peek(1).unwrap().band, 1);
+        assert_eq!(p.cache().peek(2).unwrap().band, 4);
+        assert!(p.name().starts_with("pre-pama"));
+        // Value weight is 1 per request regardless of penalty.
+        assert_eq!(p.weight(SimDuration::from_secs(4)), 1.0);
+    }
+
+    #[test]
+    fn migration_prefers_evicting_cheap_penalties() {
+        // Fill the cache with low-penalty class-6 items, then hammer
+        // high-penalty class-5 misses: PAMA should migrate the slab
+        // away from the cheap subclass once ghost evidence accumulates.
+        let mut p = Pama::with_config(cfg(), pcfg());
+        p.on_get(&get_p(100, 4000, 2), tick(0));
+        p.on_get(&get_p(101, 4000, 2), tick(1));
+        assert_eq!(p.cache().free_slabs(), 0);
+        // distinct expensive keys in class 5 (2 KiB slots): every GET
+        // misses; ghosts accumulate incoming value for that subclass.
+        let mut t = 2;
+        for round in 0..200u64 {
+            p.on_get(&get_p(200 + (round % 6), 2000, 3000), tick(t));
+            t += 1;
+        }
+        assert!(p.migrations() > 0, "no migration toward expensive subclass");
+        assert!(
+            p.cache().class(5).slabs >= 1,
+            "expensive class still slabless"
+        );
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn same_class_miss_replaces_single_item() {
+        let mut c = cfg();
+        c.total_bytes = 4 << 10; // one slab
+        let mut p = Pama::with_config(c, pcfg());
+        // class 5: 2 slots. Three distinct keys → one eviction, no
+        // migration possible (single class populated).
+        p.on_get(&get_p(1, 2000, 100), tick(0));
+        p.on_get(&get_p(2, 2000, 100), tick(1));
+        p.on_get(&get_p(3, 2000, 100), tick(2));
+        assert_eq!(p.migrations(), 0);
+        assert_eq!(p.cache().len(), 2);
+        assert!(!p.cache().contains(1), "LRU item must have been replaced");
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ghost_credit_feeds_incoming_value() {
+        let mut c = cfg();
+        c.total_bytes = 4 << 10;
+        // value_window 1: snapshots every access, so the ghost entry is
+        // stamped before its re-reference.
+        let mut p = Pama::with_config(c, PamaConfig { value_window: 1, ..pcfg() });
+        p.on_get(&get_p(1, 2000, 1000), tick(0));
+        p.on_get(&get_p(2, 2000, 1000), tick(1));
+        p.on_get(&get_p(3, 2000, 1000), tick(2)); // evicts key 1 → ghost
+        // GET key 1 again: a ghost hit crediting its subclass.
+        p.on_get(&get_p(1, 2000, 1000), tick(3));
+        let band = p.band_of(SimDuration::from_millis(1000));
+        let s = p.sub(5, band);
+        assert!(
+            p.trackers[s].incoming() > 0.0,
+            "ghost re-reference produced no incoming value"
+        );
+        p.cache().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_forgets_ghosts() {
+        let mut c = cfg();
+        c.total_bytes = 4 << 10;
+        let mut p = Pama::with_config(c, pcfg());
+        p.on_get(&get_p(1, 2000, 1000), tick(0));
+        p.on_get(&get_p(2, 2000, 1000), tick(1));
+        p.on_get(&get_p(3, 2000, 1000), tick(2)); // ghost key 1
+        p.on_delete(&Request::delete(SimTime::ZERO, 1, 8), tick(3));
+        p.on_get(&get_p(1, 2000, 1000), tick(4));
+        let band = p.band_of(SimDuration::from_millis(1000));
+        let s = p.sub(5, band);
+        assert_eq!(
+            p.trackers[s].incoming(),
+            0.0,
+            "deleted key still credited the ghost region"
+        );
+    }
+
+    #[test]
+    fn hits_build_outgoing_value_via_snapshots() {
+        let mut p = Pama::with_config(cfg(), PamaConfig { value_window: 4, ..pcfg() });
+        // Insert a few items, let the window roll so snapshots exist,
+        // then hit a bottom item.
+        p.on_get(&get_p(1, 40, 4000), tick(0));
+        p.on_get(&get_p(2, 40, 4000), tick(1));
+        p.on_get(&get_p(3, 40, 4000), tick(2));
+        p.on_get(&get_p(4, 40, 4000), tick(3)); // window rolls after this
+        assert!(p.rebuilds() > 0);
+        p.on_get(&get_p(1, 40, 4000), tick(4)); // hit on snapshotted stack
+        let s = p.sub(0, p.band_of(SimDuration::from_secs(4)));
+        assert!(
+            p.trackers[s].outgoing() > 0.0,
+            "hit on tracked segment did not register"
+        );
+    }
+
+    #[test]
+    fn value_window_rebuild_counts() {
+        let mut p = Pama::with_config(cfg(), PamaConfig { value_window: 10, ..pcfg() });
+        for i in 0..35 {
+            p.on_get(&get_p(i, 40, 10), tick(i));
+        }
+        assert_eq!(p.rebuilds(), 3);
+    }
+
+    #[test]
+    fn set_moving_band_keeps_item_cached_once() {
+        let mut p = Pama::with_config(cfg(), pcfg());
+        p.on_set(&get_set(1, 40, 5), tick(0));
+        assert_eq!(p.cache().peek(1).unwrap().band, 1);
+        p.on_set(&get_set(1, 40, 3000), tick(1));
+        let m = p.cache().peek(1).unwrap();
+        assert_eq!(m.band, 4);
+        assert_eq!(p.cache().len(), 1);
+        p.cache().check_invariants().unwrap();
+    }
+
+    fn get_set(key: u64, vs: u32, penalty_ms: u64) -> Request {
+        Request::set(SimTime::ZERO, key, 8, vs)
+            .with_penalty(SimDuration::from_millis(penalty_ms))
+    }
+
+    #[test]
+    fn uncacheable_when_no_candidates() {
+        let mut c = cfg();
+        c.total_bytes = 4 << 10;
+        let mut p = Pama::with_config(c, pcfg());
+        // one slab to class 6; class 0 miss: cheapest candidate is the
+        // class-6 subclass (cross-class). With zero incoming value, no
+        // migration; in-class eviction impossible (class 0 empty).
+        p.on_get(&get_p(100, 4000, 100), tick(0));
+        let o = p.on_get(&get_p(1, 40, 100), tick(1));
+        assert!(!o.hit);
+        assert!(!o.filled, "class 0 had no way to cache the item");
+        assert_eq!(p.migrations(), 0);
+        p.cache().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,415 @@
+//! Exact LRU reuse-distance tracking (Mattson stack distances) via a
+//! Fenwick tree — the substrate for the LAMA-lite allocator \[9\].
+//!
+//! The reuse distance of an access is the number of *distinct* keys
+//! touched since the previous access to the same key. Under LRU, an
+//! access hits a cache of capacity `C` items iff its reuse distance is
+//! `< C`, so a histogram of reuse distances *is* the miss-ratio curve.
+//!
+//! The classic O(log n) algorithm: keep a Fenwick tree over a virtual
+//! time axis with a 1 at every key's last-access slot. An access's
+//! distance is the count of 1s after its previous slot; then the key's
+//! 1 moves to the current end of the axis. When the axis fills up, the
+//! live slots are compacted (order-preserving renumbering) — amortised
+//! O(1) slots per access.
+
+use pama_util::FastMap;
+
+/// Exact reuse-distance tracker. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ReuseTracker {
+    /// Fenwick tree (1-based) over time slots.
+    bit: Vec<u32>,
+    /// key → its last-access time slot (1-based).
+    last_pos: FastMap<u64, u32>,
+    /// Next free time slot (1-based).
+    clock: u32,
+    /// Axis capacity.
+    cap: u32,
+    compactions: u64,
+}
+
+impl ReuseTracker {
+    /// Creates a tracker whose time axis holds `axis` slots before a
+    /// compaction is needed. Pick a few× the expected live-key count;
+    /// too small only costs extra compactions, never correctness.
+    ///
+    /// # Panics
+    /// Panics if `axis < 2`.
+    pub fn new(axis: usize) -> Self {
+        assert!(axis >= 2, "axis too small");
+        Self {
+            bit: vec![0; axis + 1],
+            last_pos: FastMap::default(),
+            clock: 1,
+            cap: axis as u32,
+            compactions: 0,
+        }
+    }
+
+    /// Number of distinct keys currently tracked.
+    pub fn live_keys(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// Compactions performed (diagnostic).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    #[inline]
+    fn bit_add(&mut self, mut i: u32, delta: i32) {
+        while (i as usize) < self.bit.len() {
+            self.bit[i as usize] = (self.bit[i as usize] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn bit_sum(&self, mut i: u32) -> u32 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.bit[i as usize];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Records an access. Returns `Some(d)` — the exact reuse distance
+    /// (0 = immediate re-reference) — or `None` on a first access
+    /// (compulsory miss under any capacity).
+    pub fn access(&mut self, key: u64) -> Option<u64> {
+        if self.clock > self.cap {
+            self.compact();
+        }
+        let now = self.clock;
+        self.clock += 1;
+        let prev = self.last_pos.insert(key, now);
+        match prev {
+            None => {
+                self.bit_add(now, 1);
+                None
+            }
+            Some(p) => {
+                // Distinct keys accessed strictly after p: ones in (p, now).
+                let d = self.bit_sum(now - 1) - self.bit_sum(p);
+                self.bit_add(p, -1);
+                self.bit_add(now, 1);
+                Some(u64::from(d))
+            }
+        }
+    }
+
+    /// Forgets a key (e.g. DELETE) without affecting others' distances
+    /// beyond removing it from the distinct-key count.
+    pub fn forget(&mut self, key: u64) {
+        if let Some(p) = self.last_pos.remove(&key) {
+            self.bit_add(p, -1);
+        }
+    }
+
+    /// Order-preserving renumbering of live slots to 1..=n. When the
+    /// live-key population would still crowd the axis, the *oldest*
+    /// keys are dropped: their next access then reads as a compulsory
+    /// miss, which is indistinguishable from an over-capacity reuse
+    /// distance for every capacity the MRC models — a safe forgetting
+    /// rule that bounds memory on unbounded key populations.
+    fn compact(&mut self) {
+        self.compactions += 1;
+        let mut live: Vec<(u32, u64)> =
+            self.last_pos.iter().map(|(&k, &p)| (p, k)).collect();
+        live.sort_unstable();
+        // Keep at most half the axis so compactions stay amortised.
+        let keep = (self.cap as usize) / 2;
+        if live.len() > keep {
+            let drop = live.len() - keep;
+            live.drain(..drop);
+        }
+        self.bit.fill(0);
+        self.last_pos.clear();
+        for (i, &(_, key)) in live.iter().enumerate() {
+            let slot = i as u32 + 1;
+            self.last_pos.insert(key, slot);
+            self.bit_add(slot, 1);
+        }
+        self.clock = live.len() as u32 + 1;
+    }
+}
+
+/// A miss-ratio-curve accumulator over slab-granular capacities for one
+/// class: bucket `k` counts accesses whose reuse distance fell within
+/// the `k`-th slab's worth of slots (i.e. hits gained by granting the
+/// `(k+1)`-th slab).
+#[derive(Debug, Clone)]
+pub struct MrcHistogram {
+    /// Per-slab-bucket reuse counts.
+    buckets: Vec<f64>,
+    /// Distances beyond the last bucket plus compulsory misses: never
+    /// avoidable with the modelled capacities.
+    overflow: f64,
+    /// Items per slab for this class.
+    spslab: usize,
+}
+
+impl MrcHistogram {
+    /// Creates a histogram covering up to `max_slabs` slabs of
+    /// `spslab` slots each.
+    ///
+    /// # Panics
+    /// Panics if `max_slabs == 0` or `spslab == 0`.
+    pub fn new(max_slabs: usize, spslab: usize) -> Self {
+        assert!(max_slabs > 0 && spslab > 0, "degenerate MRC shape");
+        Self { buckets: vec![0.0; max_slabs], overflow: 0.0, spslab }
+    }
+
+    /// Records a reuse distance (`None` = compulsory miss).
+    pub fn record(&mut self, distance: Option<u64>) {
+        match distance {
+            None => self.overflow += 1.0,
+            Some(d) => {
+                let b = (d as usize) / self.spslab;
+                if b < self.buckets.len() {
+                    self.buckets[b] += 1.0;
+                } else {
+                    self.overflow += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Hits gained by the `(k+1)`-th slab (0-based marginal utility).
+    pub fn marginal(&self, k: usize) -> f64 {
+        self.buckets.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Predicted misses with `s` slabs allocated.
+    pub fn misses_at(&self, s: usize) -> f64 {
+        self.buckets.iter().skip(s).sum::<f64>() + self.overflow
+    }
+
+    /// Exponential decay at repartition boundaries.
+    pub fn decay(&mut self, factor: f64) {
+        for b in &mut self.buckets {
+            *b *= factor;
+        }
+        self.overflow *= factor;
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum::<f64>() + self.overflow
+    }
+}
+
+/// Chunked-greedy marginal-utility allocation of `total_slabs` across
+/// classes — the LAMA-lite optimiser.
+///
+/// Plain greedy ("grant the next slab to the highest marginal") fails
+/// on non-concave MRCs: a class whose hits only appear at its second
+/// slab has zero first-slab marginal and would starve. Instead, each
+/// step evaluates every class's best *chunk*: the prefix of its next
+/// `j` slabs maximising mean gain per slab (`(Σ marginals) · weight /
+/// j`), and grants the winning chunk whole. On concave curves this
+/// degenerates to plain greedy (optimal); on general curves it is the
+/// concave-envelope approximation of the LAMA dynamic program (trade-
+/// off documented in DESIGN.md §6).
+///
+/// `floors[c]` reserves a minimum for class `c` (e.g. one slab per
+/// class currently holding items). Returns the per-class grant; grants
+/// can sum to less than `total_slabs` when no class shows any gain.
+pub fn greedy_allocate(
+    mrcs: &[MrcHistogram],
+    weights: &[f64],
+    floors: &[usize],
+    total_slabs: usize,
+) -> Vec<usize> {
+    assert_eq!(mrcs.len(), weights.len());
+    assert_eq!(mrcs.len(), floors.len());
+    let mut alloc: Vec<usize> = floors.to_vec();
+    let mut used: usize = alloc.iter().sum();
+    // If floors already exceed the budget, scale back from the largest
+    // floors (callers keep floors ≤ current allocation, so this only
+    // triggers on shrinking caches).
+    while used > total_slabs {
+        let c = (0..alloc.len()).max_by_key(|&c| alloc[c]).unwrap();
+        alloc[c] -= 1;
+        used -= 1;
+    }
+    while used < total_slabs {
+        let budget = total_slabs - used;
+        // Best (rate, chunk) per class.
+        let mut best: Option<(usize, f64, usize)> = None; // (class, rate, chunk)
+        for c in 0..mrcs.len() {
+            let mut sum = 0.0;
+            let mut best_rate = 0.0;
+            let mut best_chunk = 0;
+            for j in 1..=budget {
+                sum += mrcs[c].marginal(alloc[c] + j - 1) * weights[c];
+                let rate = sum / j as f64;
+                if rate > best_rate {
+                    best_rate = rate;
+                    best_chunk = j;
+                }
+            }
+            if best_chunk > 0
+                && best.map_or(true, |(_, r, _)| best_rate > r)
+            {
+                best = Some((c, best_rate, best_chunk));
+            }
+        }
+        match best {
+            Some((c, rate, chunk)) if rate > 0.0 => {
+                alloc[c] += chunk;
+                used += chunk;
+            }
+            _ => break, // no class gains anything: leave the rest free
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let mut t = ReuseTracker::new(64);
+        assert_eq!(t.access(1), None);
+        assert_eq!(t.access(2), None);
+        assert_eq!(t.access(3), None);
+        // 1 was last at slot 1; since then 2 and 3 → distance 2
+        assert_eq!(t.access(1), Some(2));
+        // immediate re-reference
+        assert_eq!(t.access(1), Some(0));
+        // 2: since its access, 3 and 1 touched (1 twice, distinct=2)
+        assert_eq!(t.access(2), Some(2));
+        assert_eq!(t.live_keys(), 3);
+    }
+
+    #[test]
+    fn forget_removes_from_distinct_count() {
+        let mut t = ReuseTracker::new(64);
+        t.access(1);
+        t.access(2);
+        t.forget(2);
+        // since key 1's access only key 2 intervened but was forgotten
+        assert_eq!(t.access(1), Some(0));
+        assert_eq!(t.live_keys(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let mut t = ReuseTracker::new(8); // tiny axis → frequent compaction
+        for k in 0..4u64 {
+            t.access(k);
+        }
+        for round in 0..20u64 {
+            // cyclic access: distance must always be 3
+            let k = round % 4;
+            assert_eq!(t.access(k), Some(3), "round {round}");
+        }
+        assert!(t.compactions() > 0, "compaction never exercised");
+    }
+
+    #[test]
+    fn mrc_histogram_buckets_by_slab() {
+        let mut h = MrcHistogram::new(4, 10);
+        h.record(Some(5)); // bucket 0
+        h.record(Some(10)); // bucket 1
+        h.record(Some(39)); // bucket 3
+        h.record(Some(40)); // overflow
+        h.record(None); // compulsory
+        assert_eq!(h.marginal(0), 1.0);
+        assert_eq!(h.marginal(1), 1.0);
+        assert_eq!(h.marginal(2), 0.0);
+        assert_eq!(h.marginal(9), 0.0);
+        assert_eq!(h.misses_at(0), 5.0);
+        assert_eq!(h.misses_at(1), 4.0);
+        assert_eq!(h.misses_at(4), 2.0);
+        assert_eq!(h.total(), 5.0);
+        h.decay(0.5);
+        assert_eq!(h.misses_at(0), 2.5);
+    }
+
+    #[test]
+    fn greedy_allocation_prefers_high_marginal_class() {
+        let mut hot = MrcHistogram::new(8, 10);
+        let mut cold = MrcHistogram::new(8, 10);
+        for _ in 0..100 {
+            hot.record(Some(15)); // needs 2 slabs
+        }
+        for _ in 0..10 {
+            cold.record(Some(5));
+        }
+        let alloc = greedy_allocate(
+            &[hot, cold],
+            &[1.0, 1.0],
+            &[0, 0],
+            3,
+        );
+        assert_eq!(alloc, vec![2, 1]);
+    }
+
+    #[test]
+    fn greedy_respects_weights() {
+        let mut a = MrcHistogram::new(4, 10);
+        let mut b = MrcHistogram::new(4, 10);
+        for _ in 0..10 {
+            a.record(Some(0));
+        }
+        for _ in 0..10 {
+            b.record(Some(0));
+        }
+        // Same MRCs but b's misses cost 5× more.
+        let alloc = greedy_allocate(&[a, b], &[1.0, 5.0], &[0, 0], 1);
+        assert_eq!(alloc, vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_respects_floors_and_stops_on_zero_gain() {
+        let a = MrcHistogram::new(4, 10); // empty: zero marginal
+        let b = MrcHistogram::new(4, 10);
+        let alloc = greedy_allocate(&[a, b], &[1.0, 1.0], &[2, 1], 10);
+        // floors honoured, no pointless grants beyond them
+        assert_eq!(alloc, vec![2, 1]);
+    }
+
+    #[test]
+    fn greedy_shrinks_over_budget_floors() {
+        let a = MrcHistogram::new(4, 10);
+        let b = MrcHistogram::new(4, 10);
+        let alloc = greedy_allocate(&[a, b], &[1.0, 1.0], &[5, 4], 6);
+        assert_eq!(alloc.iter().sum::<usize>(), 6);
+        assert!(alloc[0] <= 5 && alloc[1] <= 4);
+    }
+
+    #[test]
+    fn overflow_population_is_forgotten_not_fatal() {
+        let mut t = ReuseTracker::new(64);
+        // 1000 distinct keys through a 64-slot axis: old keys must be
+        // forgotten, never panic.
+        for k in 0..1000u64 {
+            t.access(k);
+        }
+        assert!(t.live_keys() <= 64);
+        assert!(t.compactions() > 0);
+        // A dropped key reads as a compulsory miss again.
+        assert_eq!(t.access(0), None);
+    }
+
+    #[test]
+    fn large_random_walk_has_sane_distances() {
+        let mut t = ReuseTracker::new(256);
+        let mut max_d = 0;
+        for i in 0..10_000u64 {
+            let k = (i * i + 7) % 97; // 97 distinct keys
+            if let Some(d) = t.access(k) {
+                assert!(d < 97, "distance {d} ≥ distinct keys");
+                max_d = max_d.max(d);
+            }
+        }
+        assert!(max_d > 10, "suspiciously flat distances");
+        assert!(t.live_keys() <= 97);
+    }
+}

@@ -1,0 +1,341 @@
+//! Segment-value tracking — the heart of PAMA (paper §III).
+//!
+//! Each subclass's LRU stack bottom is viewed as `m + 1` segments
+//! (`S0` = the relocation-candidate slab, `S1..Sm` = reference
+//! segments), and the ghost extension below the stack as another
+//! `m + 1` segments (`G0` = the receiving segment). Over a value
+//! window, the tracker accumulates each segment's value
+//! `V_k = Σ T_i` — the summed miss penalties of the requests that hit
+//! the segment (or a plain request count in pre-PAMA mode). The
+//! decision quantities are the weighted blends of Eq. (2):
+//!
+//! ```text
+//! outgoing = Σ_{i=0..m} V_stack[i] / 2^(i+1)
+//! incoming = Σ_{i=0..m} V_ghost[i] / 2^(i+1)
+//! ```
+//!
+//! Membership ("which segment does this key sit in?") follows the
+//! paper's snapshot discipline for the **stack** side: segments are
+//! snapshotted from the stacks at window boundaries; between
+//! snapshots, accessed keys are marked removed. The **ghost** side
+//! needs no filters at all: the ghost extension is an explicit ordered
+//! record of evicted keys (paper: "this extended section only records
+//! keys and miss penalties"), so a ghost's segment index is computed
+//! exactly from its eviction recency by the policy, which calls
+//! [`SubclassTracker::credit_ghost`] directly. (Crediting every
+//! evictee to a filter-backed receiving segment instead lets that
+//! segment's membership grow without bound between snapshots and
+//! overestimates incoming value badly — measured as a big-item-class
+//! slab-hoarding failure mode in the harness.)
+//!
+//! Two interchangeable stack-membership engines:
+//!
+//! * **exact** — hash maps; the simulation default (no false
+//!   positives, so measured PAMA behaviour is the algorithm's, not an
+//!   artefact of filter noise);
+//! * **bloom** — the paper's per-segment Bloom filters plus removal
+//!   filter ([`pama_bloom::SegmentedMembership`]), for fidelity runs
+//!   and the space/accuracy ablation bench.
+//!
+//! Values decay by half at each rebuild, so a segment's value blends
+//! the current window with an exponentially fading history — this is
+//! the stabilisation the paper attributes to reference segments,
+//! applied across windows as well.
+
+use pama_bloom::SegmentedMembership;
+use pama_util::FastMap;
+use serde::{Deserialize, Serialize};
+
+/// Membership engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MembershipMode {
+    /// Exact hash-map membership (simulation default).
+    Exact,
+    /// The paper's Bloom-filter design with the given per-segment
+    /// false-positive rate.
+    Bloom {
+        /// Target false-positive probability per segment filter.
+        fpp: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Membership {
+    Exact(FastMap<u64, u8>),
+    Bloom(SegmentedMembership),
+}
+
+impl Membership {
+    fn new(mode: MembershipMode, segments: usize, expected_per_segment: usize) -> Self {
+        match mode {
+            MembershipMode::Exact => Membership::Exact(FastMap::default()),
+            MembershipMode::Bloom { fpp } => {
+                Membership::Bloom(SegmentedMembership::new(segments, expected_per_segment, fpp))
+            }
+        }
+    }
+
+    #[inline]
+    fn query(&self, key: u64) -> Option<usize> {
+        match self {
+            Membership::Exact(m) => m.get(&key).map(|&s| s as usize),
+            Membership::Bloom(b) => b.query(key),
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, key: u64) {
+        match self {
+            Membership::Exact(m) => {
+                m.remove(&key);
+            }
+            Membership::Bloom(b) => b.note_removed(key),
+        }
+    }
+
+    fn rebuild(&mut self, per_segment: &[Vec<u64>]) {
+        match self {
+            Membership::Exact(m) => {
+                m.clear();
+                for (s, keys) in per_segment.iter().enumerate() {
+                    for &k in keys {
+                        m.insert(k, s as u8);
+                    }
+                }
+            }
+            Membership::Bloom(b) => {
+                b.rebuild_all(per_segment.iter().map(|v| v.iter().copied()));
+            }
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        match self {
+            // FastMap entry ≈ key + tag + bucket overhead ≈ 16 B.
+            Membership::Exact(m) => m.len() * 16,
+            Membership::Bloom(b) => b.byte_size(),
+        }
+    }
+}
+
+/// Per-subclass segment-value tracker. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SubclassTracker {
+    m: usize,
+    stack_vals: Vec<f64>,
+    ghost_vals: Vec<f64>,
+    stack_mem: Membership,
+}
+
+impl SubclassTracker {
+    /// Creates a tracker with `m` reference segments; `spslab` sizes
+    /// the Bloom filters when `mode` is Bloom.
+    pub fn new(m: usize, spslab: usize, mode: MembershipMode) -> Self {
+        let segs = m + 1;
+        Self {
+            m,
+            stack_vals: vec![0.0; segs],
+            ghost_vals: vec![0.0; segs],
+            stack_mem: Membership::new(mode, segs, spslab),
+        }
+    }
+
+    /// Number of reference segments.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Records a GET hit on this subclass. When the key sits in a
+    /// tracked stack segment, its segment value grows by `weight` and
+    /// the key leaves the segment (it moved to the stack top). Returns
+    /// the segment index hit, if any.
+    pub fn on_hit(&mut self, key: u64, weight: f64) -> Option<usize> {
+        let seg = self.stack_mem.query(key)?;
+        self.stack_vals[seg] += weight;
+        self.stack_mem.remove(key);
+        Some(seg)
+    }
+
+    /// Records a GET miss on a ghosted key: the policy computed the
+    /// ghost segment index (from the key's eviction recency in the
+    /// explicit ghost record) and the segment's value grows by
+    /// `weight`. Indices beyond `m` are clamped into the last segment.
+    pub fn credit_ghost(&mut self, seg: usize, weight: f64) {
+        let seg = seg.min(self.m);
+        self.ghost_vals[seg] += weight;
+    }
+
+    /// Records an eviction from this subclass: the key leaves the
+    /// stack segments (the ghost side is the policy's explicit list).
+    pub fn on_evict(&mut self, key: u64) {
+        self.stack_mem.remove(key);
+    }
+
+    /// Records a key removed from the subclass for reasons other than
+    /// eviction (DELETE, or SET moving it to another class) — it must
+    /// vanish from the stack membership without crediting anything.
+    pub fn on_remove(&mut self, key: u64) {
+        self.stack_mem.remove(key);
+    }
+
+    /// The candidate slab's **outgoing value** (Eq. 2).
+    pub fn outgoing(&self) -> f64 {
+        weighted(&self.stack_vals)
+    }
+
+    /// The subclass's **incoming value** (Eq. 2 over ghost segments).
+    pub fn incoming(&self) -> f64 {
+        weighted(&self.ghost_vals)
+    }
+
+    /// Raw per-segment stack values (diagnostics/tests).
+    pub fn stack_values(&self) -> &[f64] {
+        &self.stack_vals
+    }
+
+    /// Raw per-segment ghost values (diagnostics/tests).
+    pub fn ghost_values(&self) -> &[f64] {
+        &self.ghost_vals
+    }
+
+    /// Window-boundary rebuild: re-snapshots the stack membership from
+    /// the provided segment contents (index 0 = candidate segment) and
+    /// halves all accumulated values, stack and ghost alike.
+    pub fn rebuild(&mut self, stack_segments: &[Vec<u64>]) {
+        self.stack_mem.rebuild(stack_segments);
+        for v in &mut self.stack_vals {
+            *v *= 0.5;
+        }
+        for v in &mut self.ghost_vals {
+            *v *= 0.5;
+        }
+    }
+
+    /// Approximate memory footprint of the membership structure.
+    pub fn byte_size(&self) -> usize {
+        self.stack_mem.byte_size()
+    }
+}
+
+#[inline]
+fn weighted(vals: &[f64]) -> f64 {
+    vals.iter().enumerate().map(|(i, v)| v / f64::from(1u32 << (i + 1))).sum()
+}
+
+/// Splits the bottom-up key stream of a stack into `m + 1` segments of
+/// `spslab` keys each (segment 0 first). Shorter streams produce
+/// shorter/absent segments.
+pub fn chunk_segments(
+    keys: impl Iterator<Item = u64>,
+    m: usize,
+    spslab: usize,
+) -> Vec<Vec<u64>> {
+    let mut out: Vec<Vec<u64>> = vec![Vec::new(); m + 1];
+    for (i, k) in keys.take((m + 1) * spslab.max(1)).enumerate() {
+        out[i / spslab.max(1)].push(k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(mode: MembershipMode) -> SubclassTracker {
+        let mut t = SubclassTracker::new(2, 4, mode);
+        // stack bottom-up: S0 = 1..4, S1 = 5..8, S2 = 9..12
+        let stack: Vec<Vec<u64>> =
+            vec![(1..=4).collect(), (5..=8).collect(), (9..=12).collect()];
+        t.rebuild(&stack);
+        t
+    }
+
+    #[test]
+    fn eq2_weighting() {
+        for mode in [MembershipMode::Exact, MembershipMode::Bloom { fpp: 0.001 }] {
+            let mut t = tracker(mode);
+            assert_eq!(t.on_hit(1, 2.0), Some(0));
+            assert_eq!(t.on_hit(5, 4.0), Some(1));
+            assert_eq!(t.on_hit(9, 8.0), Some(2));
+            // V = 2/2 + 4/4 + 8/8 = 3
+            assert!((t.outgoing() - 3.0).abs() < 1e-12, "{mode:?}");
+            assert_eq!(t.incoming(), 0.0);
+        }
+    }
+
+    #[test]
+    fn hit_removes_from_segment() {
+        let mut t = tracker(MembershipMode::Exact);
+        assert_eq!(t.on_hit(2, 1.0), Some(0));
+        assert_eq!(t.on_hit(2, 1.0), None, "second hit must not double-credit");
+        assert!((t.outgoing() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_credits_feed_incoming() {
+        let mut t = tracker(MembershipMode::Exact);
+        t.credit_ghost(0, 1.0);
+        t.credit_ghost(2, 4.0);
+        // 1/2 + 4/8
+        assert!((t.incoming() - 1.0).abs() < 1e-12);
+        // out-of-range segment clamps into the last one
+        t.credit_ghost(99, 8.0);
+        assert!((t.incoming() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evict_removes_key_from_stack() {
+        let mut t = tracker(MembershipMode::Exact);
+        t.on_evict(3);
+        assert_eq!(t.on_hit(3, 1.0), None, "evicted key left the stack");
+        t.on_remove(6);
+        assert_eq!(t.on_hit(6, 1.0), None);
+    }
+
+    #[test]
+    fn rebuild_decays_values() {
+        let mut t = tracker(MembershipMode::Exact);
+        t.on_hit(1, 8.0); // outgoing 4
+        t.credit_ghost(0, 8.0); // incoming 4
+        t.rebuild(&[vec![1]]);
+        assert!((t.outgoing() - 2.0).abs() < 1e-12);
+        assert!((t.incoming() - 2.0).abs() < 1e-12);
+        // membership was re-snapshotted
+        assert_eq!(t.on_hit(1, 1.0), Some(0));
+        assert_eq!(t.on_hit(5, 1.0), None);
+    }
+
+    #[test]
+    fn bloom_mode_agrees_with_exact_on_clean_ops() {
+        let mut e = tracker(MembershipMode::Exact);
+        let mut b = tracker(MembershipMode::Bloom { fpp: 1e-4 });
+        for key in [1u64, 5, 9, 2, 6] {
+            assert_eq!(e.on_hit(key, 1.0), b.on_hit(key, 1.0), "key {key}");
+        }
+        assert!((e.outgoing() - b.outgoing()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunking_splits_bottom_up() {
+        let segs = chunk_segments(1..=10, 2, 3);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], vec![1, 2, 3]);
+        assert_eq!(segs[1], vec![4, 5, 6]);
+        assert_eq!(segs[2], vec![7, 8, 9]); // 10th key is beyond m+1 segments
+        let short = chunk_segments(1..=2, 2, 3);
+        assert_eq!(short[0], vec![1, 2]);
+        assert!(short[1].is_empty());
+        let degenerate = chunk_segments(1..=3, 1, 0);
+        assert_eq!(degenerate[0].len(), 1, "spslab 0 treated as 1");
+    }
+
+    #[test]
+    fn m_zero_uses_single_segment() {
+        let mut t = SubclassTracker::new(0, 4, MembershipMode::Exact);
+        t.rebuild(&[vec![1, 2]]);
+        assert_eq!(t.m(), 0);
+        t.on_hit(1, 3.0);
+        assert!((t.outgoing() - 1.5).abs() < 1e-12);
+        assert!(t.byte_size() > 0);
+    }
+}

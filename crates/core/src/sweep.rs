@@ -1,0 +1,196 @@
+//! Parallel campaign runner.
+//!
+//! Every figure reproduces a *matrix* of runs (schemes × cache sizes ×
+//! workloads); the runs are independent, single-threaded simulations,
+//! so the harness farms them across cores: a crossbeam work queue
+//! feeds scoped worker threads, results land in order. Each job builds
+//! its own policy and request stream inside the worker (traces are
+//! regenerated from seeds — cheaper than cloning hundred-million-entry
+//! vectors across threads, and deterministic by construction).
+
+use crate::config::{EngineConfig, Tick};
+use crate::engine::Engine;
+use crate::metrics::{AllocSnapshot, RunResult};
+use crate::policy::{GetOutcome, Policy};
+use pama_trace::Request;
+use parking_lot::Mutex;
+
+impl Policy for Box<dyn Policy + Send> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+    fn on_get(&mut self, req: &Request, tick: Tick) -> GetOutcome {
+        self.as_mut().on_get(req, tick)
+    }
+    fn on_set(&mut self, req: &Request, tick: Tick) {
+        self.as_mut().on_set(req, tick)
+    }
+    fn on_delete(&mut self, req: &Request, tick: Tick) {
+        self.as_mut().on_delete(req, tick)
+    }
+    fn on_replace(&mut self, req: &Request, tick: Tick) {
+        self.as_mut().on_replace(req, tick)
+    }
+    fn cache(&self) -> &crate::cache::BaseCache {
+        self.as_ref().cache()
+    }
+    fn end_window(&mut self) {
+        self.as_mut().end_window()
+    }
+    fn allocation(&self) -> AllocSnapshot {
+        self.as_ref().allocation()
+    }
+}
+
+/// A factory producing one run: the policy, the request stream, and
+/// the engine config. Factories run inside worker threads.
+pub struct Job {
+    /// Label recorded as the run's workload name.
+    pub label: String,
+    /// Engine configuration for this run.
+    pub ecfg: EngineConfig,
+    /// Builds the policy (fresh cache) inside the worker.
+    #[allow(clippy::type_complexity)]
+    pub make: Box<dyn FnOnce() -> (Box<dyn Policy + Send>, Box<dyn Iterator<Item = Request>>) + Send>,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        ecfg: EngineConfig,
+        make: impl FnOnce() -> (Box<dyn Policy + Send>, Box<dyn Iterator<Item = Request>>)
+            + Send
+            + 'static,
+    ) -> Self {
+        Self { label: label.into(), ecfg, make: Box::new(make) }
+    }
+}
+
+/// Runs all jobs across up to `threads` workers (0 = one per available
+/// core), returning results in job order.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<RunResult> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if threads <= 1 {
+        return jobs.into_iter().map(run_one).collect();
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Job)>();
+    for (i, j) in jobs.into_iter().enumerate() {
+        tx.send((i, j)).expect("queue send");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok((i, job)) = rx.recv() {
+                    let r = run_one(job);
+                    results.lock()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("worker died before finishing a job"))
+        .collect()
+}
+
+fn run_one(job: Job) -> RunResult {
+    let (policy, reqs) = (job.make)();
+    let mut engine = Engine::new(policy, job.ecfg).with_workload_label(job.label);
+    for r in reqs {
+        engine.step(&r);
+    }
+    engine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::policy::{MemcachedOriginal, Psa};
+    use pama_util::SimTime;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            total_bytes: 8 << 10,
+            slab_bytes: 4 << 10,
+            min_slot: 64,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn stream(n: u64) -> Box<dyn Iterator<Item = Request>> {
+        Box::new(
+            (0..n).map(|i| Request::get(SimTime::from_micros(i), i % 50, 8, 40)),
+        )
+    }
+
+    fn job(label: &str, psa: bool, n: u64) -> Job {
+        let c = cfg();
+        Job::new(label, EngineConfig::default(), move || {
+            let p: Box<dyn Policy + Send> = if psa {
+                Box::new(Psa::new(c))
+            } else {
+                Box::new(MemcachedOriginal::new(c))
+            };
+            (p, stream(n))
+        })
+    }
+
+    #[test]
+    fn results_preserve_job_order() {
+        let jobs = vec![
+            job("a", false, 100),
+            job("b", true, 200),
+            job("c", false, 300),
+        ];
+        let rs = run_jobs(jobs, 3);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].workload, "a");
+        assert_eq!(rs[1].workload, "b");
+        assert_eq!(rs[2].workload, "c");
+        assert_eq!(rs[0].total_gets, 100);
+        assert_eq!(rs[1].total_gets, 200);
+        assert_eq!(rs[2].total_gets, 300);
+        assert!(rs[1].policy.starts_with("psa"));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_jobs(vec![job("x", false, 500)], 1);
+        let parallel = run_jobs(
+            vec![job("x", false, 500), job("y", false, 500)],
+            4,
+        );
+        assert_eq!(serial[0].total_hits, parallel[0].total_hits);
+        assert_eq!(parallel[0].total_hits, parallel[1].total_hits);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        assert!(run_jobs(vec![], 4).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let rs = run_jobs(vec![job("auto", false, 50)], 0);
+        assert_eq!(rs.len(), 1);
+    }
+}

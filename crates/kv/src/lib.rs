@@ -1,0 +1,366 @@
+//! # pama-kv
+//!
+//! An embeddable, thread-safe, in-memory key-value **cache** whose
+//! memory is managed by the paper's PAMA allocator — the "release
+//! artifact" a Memcached operator would actually deploy, built on the
+//! same `pama-core` policy code the simulator validates.
+//!
+//! What you get beyond a plain `HashMap`-with-LRU:
+//!
+//! * **slab-class memory accounting** identical to Memcached's (items
+//!   occupy power-of-two slots; capacity is enforced in slabs);
+//! * **penalty-aware eviction**: when memory is tight, the allocator
+//!   prefers evicting items that are cheap to regenerate, using the
+//!   paper's subclass / segment-value machinery;
+//! * **live penalty estimation**: the cache measures each key's
+//!   GET-miss→SET gap (the paper's §IV estimator, run online) so
+//!   callers never need to supply costs — though they can
+//!   ([`PamaCache::set_with_penalty`]);
+//! * **TTL support** with lazy expiry;
+//! * **sharding** for concurrency: keys hash to independent shards,
+//!   each behind its own lock, each running its own PAMA instance.
+//!
+//! ```
+//! use pama_kv::{CacheBuilder, PamaCache};
+//!
+//! let cache: PamaCache = CacheBuilder::new()
+//!     .total_bytes(8 << 20)
+//!     .shards(4)
+//!     .build();
+//! cache.set(b"user:42", b"{\"name\":\"ada\"}", None);
+//! assert_eq!(cache.get(b"user:42").as_deref(), Some(&b"{\"name\":\"ada\"}"[..]));
+//! cache.delete(b"user:42");
+//! assert!(cache.get(b"user:42").is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod shard;
+mod stats;
+
+pub use shard::LivePenaltyProbe;
+pub use stats::CacheStats;
+
+use bytes::Bytes;
+use pama_core::config::CacheConfig;
+use pama_core::policy::PamaConfig;
+use pama_util::hash::hash_u64;
+use pama_util::SimDuration;
+use parking_lot::Mutex;
+use shard::Shard;
+use std::time::Instant;
+
+const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Builder for [`PamaCache`].
+#[derive(Debug, Clone)]
+pub struct CacheBuilder {
+    total_bytes: u64,
+    slab_bytes: u64,
+    shards: usize,
+    pama: PamaConfig,
+    default_ttl: Option<SimDuration>,
+}
+
+impl Default for CacheBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheBuilder {
+    /// A builder with 64 MiB over 4 shards, 256 KiB slabs, no TTL.
+    pub fn new() -> Self {
+        Self {
+            total_bytes: 64 << 20,
+            slab_bytes: 256 << 10,
+            shards: 4,
+            pama: PamaConfig::default(),
+            default_ttl: None,
+        }
+    }
+
+    /// Total cache memory across all shards.
+    pub fn total_bytes(mut self, b: u64) -> Self {
+        self.total_bytes = b;
+        self
+    }
+
+    /// Slab size (power of two).
+    pub fn slab_bytes(mut self, b: u64) -> Self {
+        self.slab_bytes = b;
+        self
+    }
+
+    /// Number of independent shards (rounded up to a power of two).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1).next_power_of_two();
+        self
+    }
+
+    /// PAMA tuning (reference segments, value window, …).
+    pub fn pama(mut self, cfg: PamaConfig) -> Self {
+        self.pama = cfg;
+        self
+    }
+
+    /// Default TTL applied to `set` calls without an explicit one.
+    pub fn default_ttl(mut self, ttl: Option<SimDuration>) -> Self {
+        self.default_ttl = ttl;
+        self
+    }
+
+    /// Builds the cache.
+    ///
+    /// # Panics
+    /// Panics when the per-shard share is smaller than one slab or the
+    /// geometry is otherwise invalid.
+    pub fn build(self) -> PamaCache {
+        let per_shard = self.total_bytes / self.shards as u64;
+        let cfg = CacheConfig {
+            total_bytes: per_shard,
+            slab_bytes: self.slab_bytes,
+            ..CacheConfig::default()
+        };
+        cfg.validate().expect("invalid cache geometry");
+        let shards = (0..self.shards)
+            .map(|_| Mutex::new(Shard::new(cfg.clone(), self.pama.clone())))
+            .collect();
+        PamaCache {
+            shards,
+            mask: self.shards as u64 - 1,
+            epoch: Instant::now(),
+            default_ttl: self.default_ttl,
+        }
+    }
+}
+
+/// The concurrent penalty-aware cache. See the crate docs.
+pub struct PamaCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    epoch: Instant,
+    default_ttl: Option<SimDuration>,
+}
+
+impl PamaCache {
+    /// A cache with default geometry (64 MiB, 4 shards).
+    pub fn with_defaults() -> Self {
+        CacheBuilder::new().build()
+    }
+
+    #[inline]
+    fn now(&self) -> pama_util::SimTime {
+        pama_util::SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    #[inline]
+    fn shard_of(&self, h: u64) -> &Mutex<Shard> {
+        // High bits pick the shard; low bits stay useful inside it.
+        &self.shards[((h >> 48) & self.mask) as usize]
+    }
+
+    /// Looks a key up. On a miss, the shard starts a penalty-probe
+    /// window for the key: if a `set` follows shortly, the gap becomes
+    /// the key's measured regeneration penalty (the paper's estimator,
+    /// live).
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let h = hash_u64(fold_key(key), KEY_SEED);
+        self.shard_of(h).lock().get(h, key, self.now())
+    }
+
+    /// Inserts or updates a key with the default TTL. The regeneration
+    /// penalty is taken from the live estimator when a probe window is
+    /// open, else the key's previous estimate, else the configured
+    /// default (100 ms).
+    pub fn set(&self, key: &[u8], value: &[u8], ttl: Option<SimDuration>) {
+        let h = hash_u64(fold_key(key), KEY_SEED);
+        self.shard_of(h).lock().set(
+            h,
+            key,
+            value,
+            ttl.or(self.default_ttl),
+            None,
+            self.now(),
+        );
+    }
+
+    /// Inserts or updates a key with an explicit regeneration penalty
+    /// (callers that know their back-end cost can skip estimation).
+    pub fn set_with_penalty(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        penalty: SimDuration,
+        ttl: Option<SimDuration>,
+    ) {
+        let h = hash_u64(fold_key(key), KEY_SEED);
+        self.shard_of(h).lock().set(
+            h,
+            key,
+            value,
+            ttl.or(self.default_ttl),
+            Some(penalty),
+            self.now(),
+        );
+    }
+
+    /// Removes a key. Returns whether it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let h = hash_u64(fold_key(key), KEY_SEED);
+        self.shard_of(h).lock().delete(h, key)
+    }
+
+    /// Whether a key is currently cached (and not expired).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let h = hash_u64(fold_key(key), KEY_SEED);
+        self.shard_of(h).lock().contains(h, key, self.now())
+    }
+
+    /// Aggregated statistics across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.merge(&s.lock().stats());
+        }
+        total
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs an expiry sweep over every shard, removing entries whose
+    /// TTL has lapsed. Expiry is otherwise lazy (checked on access).
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.now();
+        self.shards.iter().map(|s| s.lock().sweep_expired(now)).sum()
+    }
+}
+
+/// Folds arbitrary key bytes into a u64 for hashing (FNV-1a style —
+/// the result is re-mixed by `hash_u64`, so simplicity is fine).
+#[inline]
+fn fold_key(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (key.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PamaCache {
+        CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(2)
+            .build()
+    }
+
+    #[test]
+    fn get_set_delete_roundtrip() {
+        let c = small();
+        assert!(c.get(b"k").is_none());
+        c.set(b"k", b"value-1", None);
+        assert_eq!(c.get(b"k").as_deref(), Some(&b"value-1"[..]));
+        c.set(b"k", b"value-2", None);
+        assert_eq!(c.get(b"k").as_deref(), Some(&b"value-2"[..]));
+        assert!(c.delete(b"k"));
+        assert!(!c.delete(b"k"));
+        assert!(c.get(b"k").is_none());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c = small();
+        c.set(b"a", b"1", None);
+        let _ = c.get(b"a"); // hit
+        let _ = c.get(b"b"); // miss
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.items, 1);
+        assert!(s.hit_ratio() > 0.49 && s.hit_ratio() < 0.51);
+    }
+
+    #[test]
+    fn shards_partition_keys() {
+        let c = CacheBuilder::new().shards(3).build(); // rounds to 4
+        assert_eq!(c.num_shards(), 4);
+        for i in 0..100u32 {
+            c.set(format!("key-{i}").as_bytes(), b"x", None);
+        }
+        assert_eq!(c.stats().items, 100);
+    }
+
+    #[test]
+    fn eviction_under_pressure_keeps_cache_bounded() {
+        let c = CacheBuilder::new()
+            .total_bytes(1 << 20)
+            .slab_bytes(64 << 10)
+            .shards(1)
+            .build();
+        let value = vec![0u8; 4000];
+        for i in 0..2_000u32 {
+            c.set(format!("bulk-{i}").as_bytes(), &value, None);
+        }
+        let s = c.stats();
+        assert!(s.items < 300, "items {} should be bounded by 1 MiB", s.items);
+        assert!(s.evictions > 0);
+        // freshest items survive
+        assert!(c.contains(b"bulk-1999"));
+    }
+
+    #[test]
+    fn oversized_values_are_refused() {
+        let c = CacheBuilder::new()
+            .total_bytes(1 << 20)
+            .slab_bytes(64 << 10)
+            .shards(1)
+            .build();
+        let huge = vec![0u8; 80 << 10]; // > one slab
+        c.set(b"huge", &huge, None);
+        assert!(!c.contains(b"huge"));
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn different_keys_do_not_collide_logically() {
+        let c = small();
+        c.set(b"alpha", b"A", None);
+        c.set(b"beta", b"B", None);
+        assert_eq!(c.get(b"alpha").as_deref(), Some(&b"A"[..]));
+        assert_eq!(c.get(b"beta").as_deref(), Some(&b"B"[..]));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = std::sync::Arc::new(small());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..2_000u32 {
+                        let key = format!("t{t}-{i}");
+                        c.set(key.as_bytes(), key.as_bytes(), None);
+                        assert_eq!(
+                            c.get(key.as_bytes()).as_deref(),
+                            Some(key.as_bytes())
+                        );
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.sets, 8_000);
+        assert!(s.hits >= 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! One cache shard: real byte storage + a PAMA policy instance for
+//! memory accounting and eviction decisions, plus the live penalty
+//! probe (the paper's GET-miss→SET estimator running online).
+
+use crate::stats::CacheStats;
+use bytes::Bytes;
+use pama_core::config::{CacheConfig, Tick};
+use pama_core::policy::{Pama, PamaConfig, Policy};
+use pama_trace::penalty::{DEFAULT_PENALTY, PENALTY_CAP};
+use pama_trace::Request;
+use pama_util::{FastMap, SimDuration, SimTime};
+
+/// A stored entry: the full key (for collision rejection), the value,
+/// and the expiry, if any.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Bytes,
+    value: Bytes,
+    expires: Option<SimTime>,
+}
+
+/// An open penalty-probe window: the key missed at `miss_at`; a `set`
+/// arriving before the cap closes the window and records the gap as
+/// the key's regeneration penalty.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    miss_at: SimTime,
+}
+
+/// Live per-key penalty knowledge.
+///
+/// Exposed for diagnostics as [`LivePenaltyProbe`]: how many penalties
+/// have been measured and their running mean.
+#[derive(Debug, Default, Clone)]
+pub struct LivePenaltyProbe {
+    /// Number of measured (miss→set) samples.
+    pub samples: u64,
+    /// Mean measured penalty in microseconds.
+    pub mean_us: f64,
+}
+
+pub(crate) struct Shard {
+    policy: Pama,
+    entries: FastMap<u64, Entry>,
+    estimates: FastMap<u64, SimDuration>,
+    probes: FastMap<u64, Probe>,
+    stats: CacheStats,
+    probe: LivePenaltyProbe,
+    serial: u64,
+}
+
+impl Shard {
+    pub fn new(mut cfg: CacheConfig, pama: PamaConfig) -> Self {
+        // The shard drives inserts explicitly through `set`; the
+        // policy must never phantom-fill on its own.
+        cfg.demand_fill = false;
+        Self {
+            policy: Pama::with_config(cfg, pama),
+            entries: FastMap::default(),
+            estimates: FastMap::default(),
+            probes: FastMap::default(),
+            stats: CacheStats::default(),
+            probe: LivePenaltyProbe::default(),
+            serial: 0,
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) -> Tick {
+        self.serial += 1;
+        Tick { now, serial: self.serial }
+    }
+
+    /// The penalty to attribute to a key on insert.
+    fn penalty_for(&mut self, h: u64, explicit: Option<SimDuration>, now: SimTime) -> SimDuration {
+        if let Some(p) = explicit {
+            return p.min(PENALTY_CAP);
+        }
+        if let Some(probe) = self.probes.remove(&h) {
+            let gap = now.saturating_since(probe.miss_at);
+            if gap <= PENALTY_CAP && gap > SimDuration::ZERO {
+                // Fold into the live estimate (EWMA-free mean keeps the
+                // math simple and the probe struct cheap).
+                self.probe.samples += 1;
+                self.probe.mean_us += (gap.as_micros() as f64 - self.probe.mean_us)
+                    / self.probe.samples as f64;
+                self.estimates.insert(h, gap);
+                return gap;
+            }
+        }
+        self.estimates.get(&h).copied().unwrap_or(DEFAULT_PENALTY)
+    }
+
+    fn expired(e: &Entry, now: SimTime) -> bool {
+        e.expires.is_some_and(|t| now >= t)
+    }
+
+    /// Drops an entry from both the store and the policy bookkeeping.
+    fn drop_entry(&mut self, h: u64, now: SimTime) {
+        if self.entries.remove(&h).is_some() {
+            let t = Tick { now, serial: self.serial };
+            // Width of the delete request is irrelevant to removal.
+            self.policy.on_delete(&Request::delete(now, h, 0), t);
+        }
+    }
+
+    pub fn get(&mut self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+        let tick = self.tick(now);
+        match self.entries.get(&h) {
+            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => {
+                let value = e.value.clone();
+                // Keep the policy's recency bookkeeping in step. The
+                // request's sizes mirror the stored entry.
+                let req = Request::get(now, h, key.len() as u32, value.len() as u32);
+                let out = self.policy.on_get(&req, tick);
+                debug_assert!(out.hit, "policy lost a stored key");
+                self.stats.hits += 1;
+                Some(value)
+            }
+            Some(_) => {
+                // Hash collision with a different key, or expired: treat
+                // as a miss and make room for the incoming generation.
+                self.drop_entry(h, now);
+                self.miss(h, now);
+                None
+            }
+            None => {
+                self.miss(h, now);
+                None
+            }
+        }
+    }
+
+    fn miss(&mut self, h: u64, now: SimTime) {
+        self.stats.misses += 1;
+        self.probes.insert(h, Probe { miss_at: now });
+        // Bound the probe table: keep only the freshest half when
+        // oversized (stale probes would be over-cap anyway).
+        if self.probes.len() > 65_536 {
+            let mut keep: Vec<(u64, Probe)> = self
+                .probes
+                .iter()
+                .map(|(&k, &p)| (k, p))
+                .collect();
+            keep.sort_by_key(|(_, p)| std::cmp::Reverse(p.miss_at));
+            keep.truncate(32_768);
+            self.probes = keep.into_iter().collect();
+        }
+    }
+
+    pub fn set(
+        &mut self,
+        h: u64,
+        key: &[u8],
+        value: &[u8],
+        ttl: Option<SimDuration>,
+        explicit_penalty: Option<SimDuration>,
+        now: SimTime,
+    ) {
+        let tick = self.tick(now);
+        let penalty = self.penalty_for(h, explicit_penalty, now);
+        // Replace any previous generation (also resolves collisions in
+        // favour of the newest writer).
+        if self.entries.contains_key(&h) {
+            self.drop_entry(h, now);
+        }
+        let req = Request::set(now, h, key.len() as u32, value.len() as u32)
+            .with_penalty(penalty);
+        self.stats.sets += 1;
+        self.policy.on_set(&req, tick);
+        if self.policy.cache().contains(h) {
+            self.entries.insert(
+                h,
+                Entry {
+                    key: Bytes::copy_from_slice(key),
+                    value: Bytes::copy_from_slice(value),
+                    expires: ttl.map(|d| now + d),
+                },
+            );
+            // Mirror policy evictions into the byte store.
+            self.reconcile();
+        } else {
+            self.stats.rejected += 1;
+        }
+    }
+
+    /// Removes store entries the policy has evicted.
+    fn reconcile(&mut self) {
+        if self.entries.len() <= self.policy.cache().len() {
+            return;
+        }
+        let policy = &self.policy;
+        let mut dropped = 0u64;
+        self.entries.retain(|&h, _| {
+            let keep = policy.cache().contains(h);
+            if !keep {
+                dropped += 1;
+            }
+            keep
+        });
+        self.stats.evictions += dropped;
+    }
+
+    pub fn delete(&mut self, h: u64, key: &[u8]) -> bool {
+        match self.entries.get(&h) {
+            Some(e) if e.key.as_ref() == key => {
+                self.stats.deletes += 1;
+                let now = SimTime::ZERO; // recency is irrelevant for removal
+                self.drop_entry(h, now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub fn contains(&mut self, h: u64, key: &[u8], now: SimTime) -> bool {
+        match self.entries.get(&h) {
+            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => true,
+            Some(e) if e.key.as_ref() == key => {
+                self.drop_entry(h, now);
+                false
+            }
+            _ => false,
+        }
+    }
+
+    pub fn sweep_expired(&mut self, now: SimTime) -> usize {
+        let expired: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| Self::expired(e, now))
+            .map(|(&h, _)| h)
+            .collect();
+        for h in &expired {
+            self.drop_entry(*h, now);
+        }
+        self.stats.expired += expired.len() as u64;
+        expired.len()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.items = self.entries.len() as u64;
+        s.live_bytes = self
+            .entries
+            .values()
+            .map(|e| (e.key.len() + e.value.len()) as u64)
+            .sum();
+        s.measured_penalties = self.probe.samples;
+        s.mean_measured_penalty_us = self.probe.mean_us;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> Shard {
+        let cfg = CacheConfig {
+            total_bytes: 1 << 20,
+            slab_bytes: 64 << 10,
+            ..CacheConfig::default()
+        };
+        Shard::new(cfg, PamaConfig::default())
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn live_penalty_probe_measures_gap() {
+        let mut s = shard();
+        // miss at t=100ms, refill at t=180ms → 80ms penalty measured
+        assert!(s.get(1, b"k", t(100)).is_none());
+        s.set(1, b"k", b"v", None, None, t(180));
+        assert_eq!(s.estimates.get(&1).copied(), Some(SimDuration::from_millis(80)));
+        let st = s.stats();
+        assert_eq!(st.measured_penalties, 1);
+        assert!((st.mean_measured_penalty_us - 80_000.0).abs() < 1.0);
+        // The stored item's penalty band reflects the measurement.
+        let meta: pama_core::cache::ItemMeta = s.policy.cache().peek(1).unwrap();
+        assert_eq!(meta.penalty, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn explicit_penalty_wins_over_probe() {
+        let mut s = shard();
+        assert!(s.get(2, b"k2", t(0)).is_none());
+        s.set(2, b"k2", b"v", None, Some(SimDuration::from_secs(2)), t(50));
+        let meta = s.policy.cache().peek(2).unwrap();
+        assert_eq!(meta.penalty, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn over_cap_gap_falls_back_to_default() {
+        let mut s = shard();
+        assert!(s.get(3, b"k3", t(0)).is_none());
+        s.set(3, b"k3", b"v", None, None, t(10_000)); // 10 s gap > cap
+        let meta = s.policy.cache().peek(3).unwrap();
+        assert_eq!(meta.penalty, DEFAULT_PENALTY);
+    }
+
+    #[test]
+    fn ttl_expiry_is_lazy_and_sweepable() {
+        let mut s = shard();
+        s.set(4, b"k4", b"v", Some(SimDuration::from_millis(100)), None, t(0));
+        assert!(s.contains(4, b"k4", t(50)));
+        assert!(!s.contains(4, b"k4", t(150)), "expired entry still visible");
+        // sweep path
+        s.set(5, b"k5", b"v", Some(SimDuration::from_millis(10)), None, t(200));
+        assert_eq!(s.sweep_expired(t(500)), 1);
+        assert_eq!(s.stats().expired, 1);
+    }
+
+    #[test]
+    fn collision_resolves_to_newest_writer() {
+        let mut s = shard();
+        s.set(7, b"first", b"A", None, None, t(0));
+        // same hash, different key bytes: treated as miss, then overwritten
+        assert!(s.get(7, b"second", t(1)).is_none());
+        s.set(7, b"second", b"B", None, None, t(2));
+        assert_eq!(s.get(7, b"second", t(3)).as_deref(), Some(&b"B"[..]));
+        assert!(s.get(7, b"first", t(4)).is_none());
+    }
+
+    #[test]
+    fn reconcile_drops_policy_evictions() {
+        let mut s = shard();
+        let v = vec![0u8; 30_000];
+        for i in 0..200u64 {
+            s.set(i, format!("key{i}").as_bytes(), &v, None, None, t(i));
+        }
+        let st = s.stats();
+        assert!(st.items < 40, "1 MiB can't hold 200×30 KB: items {}", st.items);
+        assert!(st.evictions > 0);
+        // store and policy agree exactly
+        assert_eq!(st.items as usize, s.policy.cache().len());
+    }
+}

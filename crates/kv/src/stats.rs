@@ -1,0 +1,118 @@
+//! Cache-wide statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters reported by [`crate::PamaCache::stats`]. All counters are
+/// cumulative since cache creation except `items` / `live_bytes`
+/// (point-in-time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// GETs that returned a value.
+    pub hits: u64,
+    /// GETs that found nothing (including expiries and collisions).
+    pub misses: u64,
+    /// SET calls.
+    pub sets: u64,
+    /// Successful DELETE calls.
+    pub deletes: u64,
+    /// Items evicted by the allocator to make room.
+    pub evictions: u64,
+    /// Items dropped by TTL expiry (lazy or swept).
+    pub expired: u64,
+    /// SETs refused because the item could not be placed (oversized or
+    /// starved class).
+    pub rejected: u64,
+    /// Current live item count.
+    pub items: u64,
+    /// Current live key+value bytes (excluding per-slot rounding).
+    pub live_bytes: u64,
+    /// GET-miss→SET penalty samples measured by the live estimator.
+    pub measured_penalties: u64,
+    /// Mean measured penalty in microseconds.
+    pub mean_measured_penalty_us: f64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all GETs so far (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another shard's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        // Weighted mean for the penalty estimate.
+        let total = self.measured_penalties + other.measured_penalties;
+        if total > 0 {
+            self.mean_measured_penalty_us = (self.mean_measured_penalty_us
+                * self.measured_penalties as f64
+                + other.mean_measured_penalty_us * other.measured_penalties as f64)
+                / total as f64;
+        }
+        self.measured_penalties = total;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sets += other.sets;
+        self.deletes += other.deletes;
+        self.evictions += other.evictions;
+        self.expired += other.expired;
+        self.rejected += other.rejected;
+        self.items += other.items;
+        self.live_bytes += other.live_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_edges() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_weights() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            measured_penalties: 2,
+            mean_measured_penalty_us: 100.0,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 3,
+            misses: 4,
+            items: 7,
+            measured_penalties: 6,
+            mean_measured_penalty_us: 300.0,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.items, 7);
+        assert_eq!(a.measured_penalties, 8);
+        // (2·100 + 6·300)/8 = 250
+        assert!((a.mean_measured_penalty_us - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_no_samples_keeps_mean() {
+        let mut a = CacheStats {
+            measured_penalties: 0,
+            mean_measured_penalty_us: 0.0,
+            ..CacheStats::default()
+        };
+        a.merge(&CacheStats::default());
+        assert_eq!(a.measured_penalties, 0);
+    }
+}

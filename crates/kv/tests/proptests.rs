@@ -1,0 +1,129 @@
+//! Property-based tests for the embeddable cache: semantic guarantees
+//! against a reference map under arbitrary op sequences.
+
+use pama_kv::CacheBuilder;
+use pama_util::SimDuration;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Set { key: u8, len: u16 },
+    Get { key: u8 },
+    Delete { key: u8 },
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u16..2000).prop_map(|(key, len)| KvOp::Set { key, len }),
+        4 => any::<u8>().prop_map(|key| KvOp::Get { key }),
+        1 => any::<u8>().prop_map(|key| KvOp::Delete { key }),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cache may evict anything under pressure, but it must never
+    /// return a *wrong* value: every successful GET matches the last
+    /// SET for that key, and deleted keys never reappear until re-set.
+    #[test]
+    fn gets_never_return_stale_or_foreign_values(
+        ops in prop::collection::vec(kv_op(), 1..400)
+    ) {
+        let cache = CacheBuilder::new()
+            .total_bytes(256 << 10)
+            .slab_bytes(16 << 10)
+            .shards(2)
+            .build();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                KvOp::Set { key, len } => {
+                    let value = vec![key; usize::from(len)];
+                    cache.set(&key_bytes(key), &value, None);
+                    model.insert(key, value);
+                }
+                KvOp::Get { key } => {
+                    if let Some(got) = cache.get(&key_bytes(key)) {
+                        match model.get(&key) {
+                            Some(expect) => prop_assert_eq!(
+                                got.as_ref(),
+                                &expect[..],
+                                "wrong bytes for key {}",
+                                key
+                            ),
+                            None => prop_assert!(
+                                false,
+                                "key {} returned after delete/never-set",
+                                key
+                            ),
+                        }
+                    }
+                }
+                KvOp::Delete { key } => {
+                    cache.delete(&key_bytes(key));
+                    model.remove(&key);
+                    prop_assert!(cache.get(&key_bytes(key)).is_none());
+                }
+            }
+        }
+    }
+
+    /// Byte accounting: stats' live_bytes equals the sum of the keys
+    /// and values the cache still claims to contain.
+    #[test]
+    fn stats_counts_are_coherent(ops in prop::collection::vec(kv_op(), 1..200)) {
+        let cache = CacheBuilder::new()
+            .total_bytes(128 << 10)
+            .slab_bytes(16 << 10)
+            .shards(1)
+            .build();
+        let mut sets = 0u64;
+        let mut gets = 0u64;
+        for op in &ops {
+            match op {
+                KvOp::Set { key, len } => {
+                    cache.set(&key_bytes(*key), &vec![0u8; usize::from(*len)], None);
+                    sets += 1;
+                }
+                KvOp::Get { key } => {
+                    let _ = cache.get(&key_bytes(*key));
+                    gets += 1;
+                }
+                KvOp::Delete { key } => {
+                    cache.delete(&key_bytes(*key));
+                }
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.sets, sets);
+        prop_assert_eq!(s.hits + s.misses, gets);
+        // live accounting: recount by probing all possible keys
+        let mut items = 0u64;
+        for k in 0u8..=255 {
+            if cache.contains(&key_bytes(k)) {
+                items += 1;
+            }
+        }
+        prop_assert_eq!(s.items, items);
+    }
+
+    /// TTL: entries never outlive their TTL as observed through `get`.
+    #[test]
+    fn ttl_zero_is_immediately_expired(keys in prop::collection::vec(any::<u8>(), 1..30)) {
+        let cache = CacheBuilder::new()
+            .total_bytes(128 << 10)
+            .slab_bytes(16 << 10)
+            .shards(1)
+            .build();
+        for &k in &keys {
+            cache.set(&key_bytes(k), b"v", Some(SimDuration::ZERO));
+            prop_assert!(cache.get(&key_bytes(k)).is_none(), "TTL=0 entry visible");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The tiny dependency-free argument parser behind `pamactl`.
+//!
+//! Grammar: positional words, `--name value` flags (last occurrence
+//! wins), the `-o FILE` shorthand for `--out`, and repeatable
+//! `--policy` flags collected in order.
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional words in order (the first is the subcommand).
+    pub positional: Vec<String>,
+    /// `--name value` pairs in order of appearance.
+    pub flags: Vec<(String, String)>,
+    /// Repeatable `--policy` values in order.
+    pub policies_raw: Vec<String>,
+}
+
+/// Parse failure: a flag without a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingValue(pub String);
+
+impl std::fmt::Display for MissingValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flag --{} requires a value", self.0)
+    }
+}
+
+impl std::error::Error for MissingValue {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Args, MissingValue> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| MissingValue(name.to_string()))?;
+                if name == "policy" {
+                    out.policies_raw.push(value);
+                } else {
+                    out.flags.push((name.to_string(), value));
+                }
+                i += 2;
+            } else if raw[i] == "-o" {
+                let value =
+                    raw.get(i + 1).cloned().ok_or_else(|| MissingValue("out".into()))?;
+                out.flags.push(("out".into(), value));
+                i += 2;
+            } else {
+                out.positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Last value of a flag, if present.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Numeric flag with a default; `None` when present but unparsable.
+    pub fn num(&self, name: &str, default: u64) -> Option<u64> {
+        match self.flag(name) {
+            None => Some(default),
+            Some(v) => v.parse().ok(),
+        }
+    }
+
+    /// The `--policy` list, defaulting to `["pama"]`.
+    pub fn policies(&self) -> Vec<String> {
+        if self.policies_raw.is_empty() {
+            vec!["pama".into()]
+        } else {
+            self.policies_raw.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["sim", "trace.bin", "--cache-mb", "64", "-o", "out.csv"]);
+        assert_eq!(a.positional, vec!["sim", "trace.bin"]);
+        assert_eq!(a.flag("cache-mb"), Some("64"));
+        assert_eq!(a.flag("out"), Some("out.csv"));
+        assert_eq!(a.flag("nothing"), None);
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = parse(&["gen", "--seed", "1", "--seed", "2"]);
+        assert_eq!(a.flag("seed"), Some("2"));
+    }
+
+    #[test]
+    fn policies_collect_in_order() {
+        let a = parse(&["sim", "--policy", "pama", "--policy", "psa"]);
+        assert_eq!(a.policies(), vec!["pama", "psa"]);
+        let b = parse(&["sim"]);
+        assert_eq!(b.policies(), vec!["pama"]);
+    }
+
+    #[test]
+    fn num_parses_with_default() {
+        let a = parse(&["gen", "--requests", "5000"]);
+        assert_eq!(a.num("requests", 1), Some(5000));
+        assert_eq!(a.num("keys", 7), Some(7));
+        let bad = parse(&["gen", "--requests", "abc"]);
+        assert_eq!(bad.num("requests", 1), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let raw: Vec<String> = vec!["gen".into(), "--seed".into()];
+        let err = Args::parse(&raw).unwrap_err();
+        assert_eq!(err, MissingValue("seed".into()));
+        assert!(err.to_string().contains("--seed"));
+        let raw2: Vec<String> = vec!["gen".into(), "-o".into()];
+        assert!(Args::parse(&raw2).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Command-line tools for the PAMA reproduction. The `pamactl` binary
+//! fronts this crate; the argument parser lives here so it is unit
+//! tested.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;

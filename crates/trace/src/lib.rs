@@ -1,0 +1,35 @@
+//! # pama-trace
+//!
+//! The trace substrate for the PAMA reproduction: a request model
+//! matching what the paper's Facebook Memcached traces contain
+//! (timestamped GET/SET/DELETE/REPLACE operations with key and value
+//! sizes), on-disk codecs, the paper's **miss-penalty estimator**
+//! (§I and §IV: a GET miss's penalty is the gap to the next SET of the
+//! same key, capped at 5 s, defaulting to 100 ms when unknown), stream
+//! combinators used by the evaluation (e.g. replaying APP twice for
+//! Figs. 7–8), and trace statistics.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`request`] | [`Op`], [`Request`], [`Trace`] |
+//! | [`codec`] | JSONL and compact binary trace formats |
+//! | [`stream`] | incremental binary trace reader/writer |
+//! | [`penalty`] | [`penalty::PenaltyEstimator`], [`penalty::PenaltyMap`] |
+//! | [`transform`] | repeat / concat / truncate / filter / merge / time-scale |
+//! | [`stats`] | [`stats::TraceSummary`] |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod penalty;
+pub mod request;
+pub mod stats;
+pub mod stream;
+pub mod transform;
+
+pub use penalty::{PenaltyEstimator, PenaltyMap};
+pub use request::{Op, Request, Trace};
+pub use stats::TraceSummary;

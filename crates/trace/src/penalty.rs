@@ -1,0 +1,360 @@
+//! The paper's miss-penalty estimator.
+//!
+//! Production traces do not record how long the back end took to
+//! regenerate a missed value. The paper (§I, Fig. 1; §IV) infers it
+//! from trace structure: when a GET of key *k* is followed by a SET of
+//! the same key *k* — with no other request for *k* in between — the
+//! client almost certainly missed, recomputed the value, and stored it;
+//! the gap between the two timestamps approximates the miss penalty.
+//! Gaps above 5 s are discarded (the client probably did something
+//! else), and keys with no usable pair get a default of 100 ms, roughly
+//! the observed mean.
+//!
+//! [`PenaltyEstimator`] implements exactly that scan; [`PenaltyMap`] is
+//! the resulting per-key table with the default fallback, plus an
+//! annotator that writes estimates back into a trace's `penalty_us`
+//! fields.
+
+use crate::request::{Op, Request, Trace};
+use pama_util::{FastMap, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a believable miss penalty (paper: 5 seconds).
+pub const PENALTY_CAP: SimDuration = SimDuration(5_000_000);
+/// Default penalty for keys with no usable GET→SET pair (paper: 100 ms,
+/// "roughly the observed mean penalty").
+pub const DEFAULT_PENALTY: SimDuration = SimDuration(100_000);
+
+/// Per-key penalty table produced by [`PenaltyEstimator`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PenaltyMap {
+    /// Estimated penalty per key (mean over usable samples).
+    table: FastMap<u64, SimDuration>,
+    /// Fallback for unknown keys.
+    default: SimDuration,
+}
+
+impl PenaltyMap {
+    /// Creates an empty map with the paper's default fallback.
+    pub fn new() -> Self {
+        Self { table: FastMap::default(), default: DEFAULT_PENALTY }
+    }
+
+    /// Creates an empty map with a custom fallback.
+    pub fn with_default(default: SimDuration) -> Self {
+        Self { table: FastMap::default(), default }
+    }
+
+    /// Sets a key's penalty directly (used by synthetic workloads whose
+    /// generator knows the ground truth).
+    pub fn insert(&mut self, key: u64, p: SimDuration) {
+        self.table.insert(key, p);
+    }
+
+    /// Penalty for `key`: the estimate if one exists, else the default.
+    #[inline]
+    pub fn penalty(&self, key: u64) -> SimDuration {
+        self.table.get(&key).copied().unwrap_or(self.default)
+    }
+
+    /// Whether `key` has an explicit (non-default) estimate.
+    pub fn has_estimate(&self, key: u64) -> bool {
+        self.table.contains_key(&key)
+    }
+
+    /// Number of keys with explicit estimates.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no key has an explicit estimate.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The fallback value.
+    pub fn default_penalty(&self) -> SimDuration {
+        self.default
+    }
+
+    /// Writes estimates into a trace's `penalty_us` fields (only where
+    /// the field is still 0 — explicit trace penalties win).
+    pub fn annotate(&self, trace: &mut Trace) {
+        for r in &mut trace.requests {
+            if r.penalty_us == 0 {
+                r.penalty_us = self.penalty(r.key).as_micros();
+            }
+        }
+    }
+
+    /// Iterates `(key, penalty)` pairs of explicit estimates.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, SimDuration)> + '_ {
+        self.table.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct KeyState {
+    /// Time of the most recent GET, pending a matching SET.
+    pending_get: Option<SimTime>,
+    /// Running sum and count of accepted samples.
+    sum_us: u64,
+    samples: u32,
+}
+
+/// Streaming single-pass estimator over a trace.
+///
+/// Feed requests in time order via [`PenaltyEstimator::observe`]; call
+/// [`PenaltyEstimator::finish`] for the [`PenaltyMap`]. Per key, a GET
+/// opens a "pending" interval; the *next* request for the same key
+/// closes it — counting as a penalty sample only when that request is a
+/// SET within the cap. Any other intervening op (another GET, a DELETE)
+/// cancels the pending interval, mirroring the paper's "immediately
+/// follows" condition.
+#[derive(Debug, Default)]
+pub struct PenaltyEstimator {
+    states: FastMap<u64, KeyState>,
+    accepted: u64,
+    discarded_over_cap: u64,
+    cancelled: u64,
+    cap: SimDuration,
+    default: SimDuration,
+}
+
+impl PenaltyEstimator {
+    /// Creates an estimator with the paper's cap (5 s) and default
+    /// (100 ms).
+    pub fn new() -> Self {
+        Self {
+            states: FastMap::default(),
+            accepted: 0,
+            discarded_over_cap: 0,
+            cancelled: 0,
+            cap: PENALTY_CAP,
+            default: DEFAULT_PENALTY,
+        }
+    }
+
+    /// Overrides the acceptance cap.
+    pub fn with_cap(mut self, cap: SimDuration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Overrides the default penalty of the produced map.
+    pub fn with_default(mut self, d: SimDuration) -> Self {
+        self.default = d;
+        self
+    }
+
+    /// Feeds one request (must be called in time order).
+    pub fn observe(&mut self, r: &Request) {
+        let st = self.states.entry(r.key).or_insert(KeyState {
+            pending_get: None,
+            sum_us: 0,
+            samples: 0,
+        });
+        match r.op {
+            Op::Get => {
+                if st.pending_get.is_some() {
+                    self.cancelled += 1;
+                }
+                st.pending_get = Some(r.time);
+            }
+            Op::Set => {
+                if let Some(t0) = st.pending_get.take() {
+                    let gap = r.time.saturating_since(t0);
+                    if gap <= self.cap {
+                        st.sum_us += gap.as_micros();
+                        st.samples += 1;
+                        self.accepted += 1;
+                    } else {
+                        self.discarded_over_cap += 1;
+                    }
+                }
+            }
+            Op::Delete | Op::Replace => {
+                if st.pending_get.take().is_some() {
+                    self.cancelled += 1;
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole trace.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for r in trace {
+            self.observe(r);
+        }
+    }
+
+    /// Number of accepted GET→SET samples so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of samples discarded for exceeding the cap.
+    pub fn discarded_over_cap(&self) -> u64 {
+        self.discarded_over_cap
+    }
+
+    /// Number of pending GETs cancelled by an intervening request.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Produces the per-key penalty map (mean of samples per key).
+    pub fn finish(self) -> PenaltyMap {
+        let mut map = PenaltyMap::with_default(self.default);
+        for (key, st) in self.states {
+            if st.samples > 0 {
+                map.insert(
+                    key,
+                    SimDuration::from_micros(st.sum_us / u64::from(st.samples)),
+                );
+            }
+        }
+        map
+    }
+
+    /// Convenience: estimate over a full trace in one call.
+    pub fn estimate(trace: &Trace) -> PenaltyMap {
+        let mut e = Self::new();
+        e.observe_trace(trace);
+        e.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn simple_get_set_pair_is_a_sample() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(100), 1, 8, 64),
+            Request::set(t(150), 1, 8, 64),
+        ]);
+        let map = PenaltyEstimator::estimate(&trace);
+        assert_eq!(map.penalty(1), SimDuration::from_millis(50));
+        assert!(map.has_estimate(1));
+    }
+
+    #[test]
+    fn multiple_samples_average() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::set(t(40), 1, 8, 64),
+            Request::get(t(100), 1, 8, 64),
+            Request::set(t(180), 1, 8, 64),
+        ]);
+        let map = PenaltyEstimator::estimate(&trace);
+        assert_eq!(map.penalty(1), SimDuration::from_millis(60)); // (40+80)/2
+    }
+
+    #[test]
+    fn over_cap_gap_is_discarded() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::set(t(6_000), 1, 8, 64), // 6 s > 5 s cap
+        ]);
+        let mut e = PenaltyEstimator::new();
+        e.observe_trace(&trace);
+        assert_eq!(e.discarded_over_cap(), 1);
+        let map = e.finish();
+        assert!(!map.has_estimate(1));
+        assert_eq!(map.penalty(1), DEFAULT_PENALTY);
+    }
+
+    #[test]
+    fn intervening_get_cancels_pending() {
+        // GET, GET, SET: the first GET's interval is cancelled by the
+        // second; only the second GET→SET gap counts.
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::get(t(30), 1, 8, 64),
+            Request::set(t(50), 1, 8, 64),
+        ]);
+        let mut e = PenaltyEstimator::new();
+        e.observe_trace(&trace);
+        assert_eq!(e.cancelled(), 1);
+        assert_eq!(e.accepted(), 1);
+        assert_eq!(e.finish().penalty(1), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn delete_cancels_pending() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::delete(t(10), 1, 8),
+            Request::set(t(20), 1, 8, 64),
+        ]);
+        let map = PenaltyEstimator::estimate(&trace);
+        assert!(!map.has_estimate(1), "DELETE must break the GET→SET pairing");
+    }
+
+    #[test]
+    fn set_without_pending_get_is_ignored() {
+        let trace = Trace::from_requests(vec![
+            Request::set(t(0), 1, 8, 64),
+            Request::set(t(10), 1, 8, 64),
+        ]);
+        let map = PenaltyEstimator::estimate(&trace);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::get(t(5), 2, 8, 64),
+            Request::set(t(30), 2, 8, 64),
+            Request::set(t(100), 1, 8, 64),
+        ]);
+        let map = PenaltyEstimator::estimate(&trace);
+        assert_eq!(map.penalty(1), SimDuration::from_millis(100));
+        assert_eq!(map.penalty(2), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn custom_cap_and_default() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::set(t(200), 1, 8, 64),
+        ]);
+        let mut e = PenaltyEstimator::new()
+            .with_cap(SimDuration::from_millis(100))
+            .with_default(SimDuration::from_millis(7));
+        e.observe_trace(&trace);
+        let map = e.finish();
+        assert_eq!(map.penalty(1), SimDuration::from_millis(7));
+        assert_eq!(map.default_penalty(), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn annotate_fills_only_unknown() {
+        let mut trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 64),
+            Request::get(t(1), 2, 8, 64).with_penalty(SimDuration::from_millis(9)),
+        ]);
+        let mut map = PenaltyMap::new();
+        map.insert(1, SimDuration::from_millis(77));
+        map.annotate(&mut trace);
+        assert_eq!(trace.requests[0].penalty(), Some(SimDuration::from_millis(77)));
+        assert_eq!(trace.requests[1].penalty(), Some(SimDuration::from_millis(9)));
+    }
+
+    #[test]
+    fn iter_lists_estimates() {
+        let mut map = PenaltyMap::new();
+        map.insert(5, SimDuration::from_millis(3));
+        let v: Vec<(u64, SimDuration)> = map.iter().collect();
+        assert_eq!(v, vec![(5, SimDuration::from_millis(3))]);
+        assert_eq!(map.len(), 1);
+    }
+}

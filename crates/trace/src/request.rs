@@ -1,0 +1,251 @@
+//! The request model.
+//!
+//! A trace is a time-ordered sequence of [`Request`]s. Keys are `u64`
+//! identifiers (production traces anonymise keys to hashes anyway; the
+//! simulator never needs key bytes, only the key *size* for slab-class
+//! assignment). Value sizes ride along on every op — including GETs,
+//! where the size describes the value that a refill-on-miss would
+//! install, exactly the information a real trace's miss→SET pair
+//! provides.
+
+use pama_util::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Operation type, mirroring the Memcached primitives the paper lists
+/// (§I: SET / GET / DEL; the workload study also contains REPLACE-style
+/// updates, dominant in the VAR trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Retrieval. On a miss the engine charges the miss penalty and
+    /// (when demand-fill is enabled) installs the item.
+    Get,
+    /// Insertion of a fresh value.
+    Set,
+    /// Removal.
+    Delete,
+    /// Update of an existing value (treated as SET that only succeeds
+    /// when the key is resident, like Memcached REPLACE).
+    Replace,
+}
+
+impl Op {
+    /// Short uppercase tag used in text dumps.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Op::Get => "GET",
+            Op::Set => "SET",
+            Op::Delete => "DEL",
+            Op::Replace => "REP",
+        }
+    }
+
+    /// Parses the tag produced by [`Op::tag`].
+    pub fn from_tag(s: &str) -> Option<Op> {
+        match s {
+            "GET" => Some(Op::Get),
+            "SET" => Some(Op::Set),
+            "DEL" => Some(Op::Delete),
+            "REP" => Some(Op::Replace),
+            _ => None,
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time on the simulated clock.
+    pub time: SimTime,
+    /// Operation type.
+    pub op: Op,
+    /// Anonymised key identifier.
+    pub key: u64,
+    /// Key length in bytes (part of the item's cache footprint).
+    pub key_size: u32,
+    /// Value length in bytes; for GETs, the size the refill would have.
+    pub value_size: u32,
+    /// Miss penalty for regenerating this key at the back end, in
+    /// microseconds; `0` means unknown (the estimator or the engine
+    /// default fills it in).
+    pub penalty_us: u64,
+}
+
+impl Request {
+    /// Convenience constructor for a GET.
+    pub fn get(time: SimTime, key: u64, key_size: u32, value_size: u32) -> Self {
+        Self { time, op: Op::Get, key, key_size, value_size, penalty_us: 0 }
+    }
+
+    /// Convenience constructor for a SET.
+    pub fn set(time: SimTime, key: u64, key_size: u32, value_size: u32) -> Self {
+        Self { time, op: Op::Set, key, key_size, value_size, penalty_us: 0 }
+    }
+
+    /// Convenience constructor for a DELETE.
+    pub fn delete(time: SimTime, key: u64, key_size: u32) -> Self {
+        Self { time, op: Op::Delete, key, key_size, value_size: 0, penalty_us: 0 }
+    }
+
+    /// Attaches a known miss penalty.
+    pub fn with_penalty(mut self, p: SimDuration) -> Self {
+        self.penalty_us = p.as_micros();
+        self
+    }
+
+    /// The known miss penalty, if any.
+    pub fn penalty(&self) -> Option<SimDuration> {
+        (self.penalty_us > 0).then_some(SimDuration::from_micros(self.penalty_us))
+    }
+
+    /// Total item footprint before slot rounding: key + value bytes
+    /// (the per-item metadata overhead is added by the cache model,
+    /// which owns that constant).
+    pub fn item_bytes(&self) -> u64 {
+        u64::from(self.key_size) + u64::from(self.value_size)
+    }
+}
+
+/// An in-memory trace: a time-ordered vector of requests.
+///
+/// The wrapper enforces nothing by construction; [`Trace::is_sorted`]
+/// and the codec's checks catch out-of-order input. Most pipelines
+/// stream requests without materialising a `Trace`, but the evaluation
+/// harness holds scaled traces in memory for repeatable multi-scheme
+/// replays.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a request vector.
+    pub fn from_requests(requests: Vec<Request>) -> Self {
+        Self { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// True when timestamps are non-decreasing.
+    pub fn is_sorted(&self) -> bool {
+        self.requests.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// Iterates over requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// Number of GET requests (the denominator for the paper's
+    /// hit-ratio and service-time metrics).
+    pub fn num_gets(&self) -> usize {
+        self.requests.iter().filter(|r| r.op == Op::Get).count()
+    }
+
+    /// End-to-end simulated duration (zero for traces shorter than 2).
+    pub fn duration(&self) -> SimDuration {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.time.saturating_since(a.time),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Request;
+    type IntoIter = std::vec::IntoIter<Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Request;
+    type IntoIter = std::slice::Iter<'a, Request>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<T: IntoIterator<Item = Request>>(iter: T) -> Self {
+        Self { requests: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_tags_roundtrip() {
+        for op in [Op::Get, Op::Set, Op::Delete, Op::Replace] {
+            assert_eq!(Op::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(Op::from_tag("???"), None);
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let g = Request::get(SimTime::from_millis(1), 42, 16, 100);
+        assert_eq!(g.op, Op::Get);
+        assert_eq!(g.item_bytes(), 116);
+        assert_eq!(g.penalty(), None);
+        let g = g.with_penalty(SimDuration::from_millis(250));
+        assert_eq!(g.penalty(), Some(SimDuration::from_millis(250)));
+        let d = Request::delete(SimTime::ZERO, 1, 8);
+        assert_eq!(d.value_size, 0);
+    }
+
+    #[test]
+    fn trace_sortedness_and_gets() {
+        let t = Trace::from_requests(vec![
+            Request::get(SimTime::from_micros(1), 1, 8, 10),
+            Request::set(SimTime::from_micros(2), 2, 8, 10),
+            Request::get(SimTime::from_micros(3), 3, 8, 10),
+        ]);
+        assert!(t.is_sorted());
+        assert_eq!(t.num_gets(), 2);
+        assert_eq!(t.duration(), SimDuration::from_micros(2));
+
+        let bad = Trace::from_requests(vec![
+            Request::get(SimTime::from_micros(9), 1, 8, 10),
+            Request::get(SimTime::from_micros(3), 1, 8, 10),
+        ]);
+        assert!(!bad.is_sorted());
+    }
+
+    #[test]
+    fn trace_iteration() {
+        let t: Trace =
+            (0..5).map(|i| Request::get(SimTime::from_micros(i), i, 8, 1)).collect();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        let keys: Vec<u64> = (&t).into_iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        let owned: Vec<Request> = t.into_iter().collect();
+        assert_eq!(owned.len(), 5);
+    }
+
+    #[test]
+    fn empty_trace_edges() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.is_sorted());
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert_eq!(t.num_gets(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Trace statistics.
+//!
+//! [`TraceSummary`] computes, in one pass, the numbers the paper's §IV
+//! uses to characterise its workloads: op mix, unique-key count,
+//! aggregate and unique footprint ("APP has a large data set in terms
+//! of aggregate accessed KV item sizes"), item-size and penalty
+//! distributions, and the fraction of GETs that are cold (first touch
+//! of the key — APP's ~40% cold misses motivate the repeated replay in
+//! Figs. 7–8).
+
+use crate::request::{Op, Trace};
+use pama_util::hist::LogHistogram;
+use pama_util::{FastMap, FastSet, SimDuration};
+
+/// One-pass summary of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Total request count.
+    pub requests: u64,
+    /// Count per op type: GET, SET, DELETE, REPLACE.
+    pub gets: u64,
+    /// SET count.
+    pub sets: u64,
+    /// DELETE count.
+    pub deletes: u64,
+    /// REPLACE count.
+    pub replaces: u64,
+    /// Distinct keys observed.
+    pub unique_keys: u64,
+    /// Sum of item footprints over all requests (bytes).
+    pub total_bytes: u64,
+    /// Sum of item footprints over first touches only (the working-set
+    /// footprint, bytes).
+    pub unique_bytes: u64,
+    /// GETs whose key was never seen before (compulsory misses under
+    /// any cache).
+    pub cold_gets: u64,
+    /// Item-size histogram (power-of-two buckets, bytes).
+    pub size_hist: LogHistogram,
+    /// Penalty histogram over requests with known penalties (µs).
+    pub penalty_hist: LogHistogram,
+    /// Simulated duration of the trace.
+    pub duration: SimDuration,
+}
+
+impl TraceSummary {
+    /// Summarises a trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut seen: FastSet<u64> = FastSet::default();
+        let mut s = TraceSummary {
+            requests: 0,
+            gets: 0,
+            sets: 0,
+            deletes: 0,
+            replaces: 0,
+            unique_keys: 0,
+            total_bytes: 0,
+            unique_bytes: 0,
+            cold_gets: 0,
+            size_hist: LogHistogram::new(32),
+            penalty_hist: LogHistogram::new(40),
+            duration: trace.duration(),
+        };
+        for r in trace {
+            s.requests += 1;
+            match r.op {
+                Op::Get => s.gets += 1,
+                Op::Set => s.sets += 1,
+                Op::Delete => s.deletes += 1,
+                Op::Replace => s.replaces += 1,
+            }
+            let bytes = r.item_bytes();
+            s.total_bytes += bytes;
+            if r.op != Op::Delete {
+                s.size_hist.record(bytes);
+            }
+            if r.penalty_us > 0 {
+                s.penalty_hist.record(r.penalty_us);
+            }
+            let first = seen.insert(r.key);
+            if first {
+                s.unique_keys += 1;
+                s.unique_bytes += bytes;
+                if r.op == Op::Get {
+                    s.cold_gets += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of GETs that are compulsory (first-touch) misses.
+    pub fn cold_get_fraction(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.cold_gets as f64 / self.gets as f64
+        }
+    }
+
+    /// Fraction of requests that are GETs.
+    pub fn get_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.gets as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean item size in bytes over non-DELETE requests.
+    pub fn mean_item_bytes(&self) -> f64 {
+        self.size_hist.mean()
+    }
+
+    /// Mean known penalty in microseconds.
+    pub fn mean_penalty_us(&self) -> f64 {
+        self.penalty_hist.mean()
+    }
+}
+
+/// Per-key access-count profile: how skewed is the popularity
+/// distribution? Returns `(counts sorted descending)`; the harness uses
+/// it to validate generated Zipf exponents.
+pub fn popularity_profile(trace: &Trace) -> Vec<u64> {
+    let mut counts: FastMap<u64, u64> = FastMap::default();
+    for r in trace {
+        if r.op == Op::Get {
+            *counts.entry(r.key).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Least-squares slope of `log(count) ~ -alpha * log(rank)` over the
+/// top `take` ranks — a quick Zipf-exponent estimate used by workload
+/// validation tests.
+pub fn estimate_zipf_alpha(profile: &[u64], take: usize) -> Option<f64> {
+    let n = profile.len().min(take);
+    if n < 3 {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = profile[..n]
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let m = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some(-(m * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use pama_util::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn summary_counts_ops_and_keys() {
+        let trace = Trace::from_requests(vec![
+            Request::get(t(0), 1, 8, 92),
+            Request::get(t(1), 1, 8, 92),
+            Request::set(t(2), 2, 8, 192),
+            Request::delete(t(3), 1, 8),
+            Request {
+                time: t(4),
+                op: Op::Replace,
+                key: 2,
+                key_size: 8,
+                value_size: 192,
+                penalty_us: 5_000,
+            },
+        ]);
+        let s = TraceSummary::compute(&trace);
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.replaces, 1);
+        assert_eq!(s.unique_keys, 2);
+        assert_eq!(s.cold_gets, 1); // key 1's first touch is a GET; key 2's is a SET
+        assert!((s.cold_get_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.get_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(s.total_bytes, 100 + 100 + 200 + 8 + 200);
+        assert_eq!(s.unique_bytes, 100 + 200);
+        assert_eq!(s.duration, SimDuration::from_millis(4));
+        assert_eq!(s.penalty_hist.total(), 1);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = TraceSummary::compute(&Trace::new());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.cold_get_fraction(), 0.0);
+        assert_eq!(s.get_fraction(), 0.0);
+        assert_eq!(s.mean_item_bytes(), 0.0);
+    }
+
+    #[test]
+    fn popularity_profile_sorts_descending() {
+        let mut reqs = Vec::new();
+        for _ in 0..5 {
+            reqs.push(Request::get(t(0), 1, 8, 10));
+        }
+        for _ in 0..2 {
+            reqs.push(Request::get(t(0), 2, 8, 10));
+        }
+        reqs.push(Request::set(t(0), 3, 8, 10)); // SET doesn't count
+        let p = popularity_profile(&Trace::from_requests(reqs));
+        assert_eq!(p, vec![5, 2]);
+    }
+
+    #[test]
+    fn zipf_alpha_recovers_synthetic_slope() {
+        // counts ∝ rank^-0.8 exactly
+        let profile: Vec<u64> =
+            (1..=200).map(|r| ((1e6 / (r as f64).powf(0.8)).round()) as u64).collect();
+        let a = estimate_zipf_alpha(&profile, 200).unwrap();
+        assert!((a - 0.8).abs() < 0.02, "estimated {a}");
+    }
+
+    #[test]
+    fn zipf_alpha_degenerate_cases() {
+        assert_eq!(estimate_zipf_alpha(&[], 10), None);
+        assert_eq!(estimate_zipf_alpha(&[5, 4], 10), None);
+        assert!(estimate_zipf_alpha(&[0, 0, 0, 0], 4).is_none());
+    }
+}

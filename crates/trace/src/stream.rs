@@ -1,0 +1,250 @@
+//! Streaming binary trace I/O.
+//!
+//! The whole-trace codec in [`crate::codec`] needs the full request
+//! vector in memory; campaign-scale traces (10⁸+ requests ≈ gigabytes)
+//! want streaming. [`StreamWriter`] appends records incrementally and
+//! [`StreamReader`] iterates them back without ever materialising the
+//! trace.
+//!
+//! Format: the same 16-byte header as the whole-trace codec, but with
+//! the count field set to [`STREAM_COUNT`] (`u32::MAX`) to mark
+//! "length determined by EOF". The whole-trace reader rejects such
+//! files loudly rather than misparsing them, and [`StreamReader`]
+//! accepts both variants, so a stream-written file is readable by
+//! either path that expects streaming.
+
+use crate::codec::{decode_record, encode_record, CodecError, MAGIC, RECORD_BYTES, VERSION};
+use crate::request::Request;
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+/// Count sentinel marking a stream-written file.
+pub const STREAM_COUNT: u32 = u32::MAX;
+
+/// Incremental trace writer. Records are buffered and flushed in
+/// chunks; call [`StreamWriter::finish`] to flush the tail (dropping
+/// without finishing loses at most the buffered tail, never corrupts
+/// earlier records).
+pub struct StreamWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    written: u64,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Starts a stream: writes the header immediately.
+    pub fn new(mut inner: W) -> Result<Self, CodecError> {
+        let mut header = Vec::with_capacity(16);
+        header.put_slice(&MAGIC);
+        header.put_u32_le(VERSION);
+        header.put_u32_le(STREAM_COUNT);
+        inner.write_all(&header)?;
+        Ok(Self { inner, buf: Vec::with_capacity(RECORD_BYTES * 4096), written: 0 })
+    }
+
+    /// Appends one request.
+    pub fn write(&mut self, r: &Request) -> Result<(), CodecError> {
+        encode_record(r, &mut self.buf);
+        self.written += 1;
+        if self.buf.len() >= RECORD_BYTES * 4096 {
+            self.inner.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the tail and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, CodecError> {
+        self.inner.write_all(&self.buf)?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Iterating trace reader for stream- or whole-trace-written files.
+pub struct StreamReader<R: Read> {
+    inner: R,
+    /// Records promised by the header (`None` for stream files).
+    expected: Option<u64>,
+    read: u64,
+    done: bool,
+}
+
+impl<R: Read> StreamReader<R> {
+    /// Opens a stream: validates the header.
+    pub fn new(mut inner: R) -> Result<Self, CodecError> {
+        let mut header = [0u8; 16];
+        inner.read_exact(&mut header)?;
+        let mut h = &header[..];
+        let mut magic = [0u8; 8];
+        h.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = h.get_u32_le();
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let count = h.get_u32_le();
+        let expected = (count != STREAM_COUNT).then_some(u64::from(count));
+        Ok(Self { inner, expected, read: 0, done: false })
+    }
+
+    /// Records promised by the header, when the file was whole-trace
+    /// written.
+    pub fn expected(&self) -> Option<u64> {
+        self.expected
+    }
+
+    fn read_one(&mut self) -> Result<Option<Request>, CodecError> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(n) = self.expected {
+            if self.read >= n {
+                self.done = true;
+                return Ok(None);
+            }
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            match self.inner.read(&mut rec[filled..]) {
+                Ok(0) => {
+                    self.done = true;
+                    return if filled == 0 && self.expected.is_none() {
+                        Ok(None) // clean EOF on a stream file
+                    } else if filled == 0 {
+                        Err(CodecError::Corrupt(format!(
+                            "file ended after {} of {} promised records",
+                            self.read,
+                            self.expected.unwrap()
+                        )))
+                    } else {
+                        Err(CodecError::Corrupt(format!(
+                            "truncated record after {} records",
+                            self.read
+                        )))
+                    };
+                }
+                Ok(k) => filled += k,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.read += 1;
+        decode_record(&mut &rec[..]).map(Some)
+    }
+}
+
+impl<R: Read> Iterator for StreamReader<R> {
+    type Item = Result<Request, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.read_one() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::write_binary;
+    use crate::request::Trace;
+    use pama_util::SimTime;
+
+    fn reqs(n: u64) -> Vec<Request> {
+        (0..n).map(|i| Request::get(SimTime::from_micros(i), i, 8, 100)).collect()
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let rs = reqs(10_000);
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        for r in &rs {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.written(), 10_000);
+        let buf = w.finish().unwrap();
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.expected(), None);
+        let back: Result<Vec<Request>, _> = reader.collect();
+        assert_eq!(back.unwrap(), rs);
+    }
+
+    #[test]
+    fn stream_reader_accepts_whole_trace_files() {
+        let t = Trace::from_requests(reqs(100));
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.expected(), Some(100));
+        let back: Result<Vec<Request>, _> = reader.collect();
+        assert_eq!(back.unwrap(), t.requests);
+    }
+
+    #[test]
+    fn whole_trace_reader_rejects_stream_files() {
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        w.write(&reqs(1)[0]).unwrap();
+        let buf = w.finish().unwrap();
+        // count == u32::MAX promises ~4G records; the byte check fails.
+        assert!(crate::codec::read_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_reports_corruption() {
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        for r in reqs(5) {
+            w.write(&r).unwrap();
+        }
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 7); // mid-record cut
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        let items: Vec<Result<Request, CodecError>> = reader.collect();
+        assert_eq!(items.len(), 5);
+        assert!(items[..4].iter().all(Result::is_ok));
+        assert!(items[4].is_err());
+    }
+
+    #[test]
+    fn short_whole_trace_reports_missing_records() {
+        let t = Trace::from_requests(reqs(10));
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - RECORD_BYTES); // drop exactly one record
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        let items: Vec<_> = reader.collect();
+        assert_eq!(items.len(), 10);
+        assert!(items[9].is_err(), "missing promised record must error");
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let w = StreamWriter::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        let reader = StreamReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.count(), 0);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(StreamReader::new(&b"garbage!"[..]).is_err());
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        w.write(&reqs(1)[0]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf[3] ^= 0xff;
+        assert!(matches!(StreamReader::new(&buf[..]), Err(CodecError::BadMagic)));
+    }
+}

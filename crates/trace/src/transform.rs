@@ -1,0 +1,262 @@
+//! Trace combinators.
+//!
+//! The evaluation pipelines compose traces: Figs. 7–8 replay the APP
+//! trace twice back-to-back ("we repeat the same trace in the second
+//! half of the experiment"); the cold-burst study (Fig. 9) splices a
+//! burst into a base trace at a given request index; scaled runs
+//! truncate or time-compress traces. All combinators preserve
+//! time-sortedness when their inputs are sorted.
+
+use crate::request::{Op, Request, Trace};
+use pama_util::{SimDuration, SimTime};
+
+/// Replays `trace` `times` times; each repetition's timestamps continue
+/// after the previous end plus `gap`.
+///
+/// This is the Figs. 7–8 operation: the second pass has no cold misses,
+/// isolating the schemes' steady-state behaviour.
+pub fn repeat(trace: &Trace, times: usize, gap: SimDuration) -> Trace {
+    if times == 0 || trace.is_empty() {
+        return Trace::new();
+    }
+    let base = trace.requests[0].time;
+    let span = trace.duration() + gap;
+    let mut out = Vec::with_capacity(trace.len() * times);
+    for rep in 0..times {
+        let offset = SimDuration::from_micros(span.as_micros() * rep as u64);
+        for r in trace {
+            let mut r = *r;
+            r.time = SimTime::from_micros(
+                r.time.saturating_since(base).as_micros() + offset.as_micros(),
+            );
+            out.push(r);
+        }
+    }
+    Trace::from_requests(out)
+}
+
+/// Concatenates traces, shifting each subsequent trace to start after
+/// the previous one ends (plus `gap`).
+pub fn concat(traces: &[&Trace], gap: SimDuration) -> Trace {
+    let mut out = Vec::with_capacity(traces.iter().map(|t| t.len()).sum());
+    let mut clock = SimTime::ZERO;
+    for t in traces {
+        if t.is_empty() {
+            continue;
+        }
+        let base = t.requests[0].time;
+        for r in t.iter() {
+            let mut r = *r;
+            r.time = clock + r.time.saturating_since(base);
+            out.push(r);
+        }
+        clock = out.last().unwrap().time + gap;
+    }
+    Trace::from_requests(out)
+}
+
+/// Keeps only the first `n` requests.
+pub fn truncate(trace: &Trace, n: usize) -> Trace {
+    Trace::from_requests(trace.requests.iter().take(n).copied().collect())
+}
+
+/// Keeps only requests matching `pred`.
+pub fn filter(trace: &Trace, pred: impl Fn(&Request) -> bool) -> Trace {
+    Trace::from_requests(trace.requests.iter().filter(|r| pred(r)).copied().collect())
+}
+
+/// Keeps only GETs (the paper computes every metric over GETs).
+pub fn gets_only(trace: &Trace) -> Trace {
+    filter(trace, |r| r.op == Op::Get)
+}
+
+/// Multiplies every timestamp by `num/den` (time compression for scaled
+/// replays; does not affect request order).
+pub fn scale_time(trace: &Trace, num: u64, den: u64) -> Trace {
+    assert!(den > 0, "zero denominator");
+    Trace::from_requests(
+        trace
+            .requests
+            .iter()
+            .map(|r| {
+                let mut r = *r;
+                r.time = SimTime::from_micros(r.time.as_micros() * num / den);
+                r
+            })
+            .collect(),
+    )
+}
+
+/// Merges time-sorted traces into one time-sorted trace (stable: ties
+/// keep the earlier input's order). Used to splice a burst trace into a
+/// base workload.
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a.requests[i].time <= b.requests[j].time {
+            out.push(a.requests[i]);
+            i += 1;
+        } else {
+            out.push(b.requests[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a.requests[i..]);
+    out.extend_from_slice(&b.requests[j..]);
+    Trace::from_requests(out)
+}
+
+/// Inserts `burst` immediately after the `at_get`-th GET of `base`,
+/// shifting nothing: the burst's requests are re-timestamped to the
+/// splice point (all at the same instant as the preceding request, in
+/// order), modelling the paper's "quickly inject cold KV items" (§IV-C).
+pub fn splice_at_get(base: &Trace, burst: &Trace, at_get: usize) -> Trace {
+    let mut out = Vec::with_capacity(base.len() + burst.len());
+    let mut gets = 0usize;
+    let mut splice_done = burst.is_empty();
+    for r in base {
+        if !splice_done && gets >= at_get {
+            let t = r.time;
+            for b in burst {
+                let mut b = *b;
+                b.time = t;
+                out.push(b);
+            }
+            splice_done = true;
+        }
+        out.push(*r);
+        if r.op == Op::Get {
+            gets += 1;
+        }
+    }
+    if !splice_done {
+        let t = base.requests.last().map(|r| r.time).unwrap_or(SimTime::ZERO);
+        for b in burst {
+            let mut b = *b;
+            b.time = t;
+            out.push(b);
+        }
+    }
+    Trace::from_requests(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(times_ms: &[u64]) -> Trace {
+        times_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| Request::get(SimTime::from_millis(ms), i as u64, 8, 10))
+            .collect()
+    }
+
+    #[test]
+    fn repeat_doubles_and_stays_sorted() {
+        let t = mk(&[10, 20, 30]);
+        let r = repeat(&t, 2, SimDuration::from_millis(5));
+        assert_eq!(r.len(), 6);
+        assert!(r.is_sorted());
+        // First rep rebased to 0; span = 20ms + 5ms gap.
+        assert_eq!(r.requests[0].time, SimTime::ZERO);
+        assert_eq!(r.requests[3].time, SimTime::from_millis(25));
+        assert_eq!(r.requests[5].time, SimTime::from_millis(45));
+        // Keys repeat — that's the point (second pass has no cold misses).
+        assert_eq!(r.requests[0].key, r.requests[3].key);
+    }
+
+    #[test]
+    fn repeat_zero_and_empty() {
+        assert!(repeat(&mk(&[1]), 0, SimDuration::ZERO).is_empty());
+        assert!(repeat(&Trace::new(), 3, SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn concat_shifts_subsequent_traces() {
+        let a = mk(&[0, 10]);
+        let b = mk(&[100, 110]); // internal offsets preserved, base removed
+        let c = concat(&[&a, &b], SimDuration::from_millis(1));
+        assert_eq!(c.len(), 4);
+        assert!(c.is_sorted());
+        assert_eq!(c.requests[2].time, SimTime::from_millis(11));
+        assert_eq!(c.requests[3].time, SimTime::from_millis(21));
+    }
+
+    #[test]
+    fn truncate_and_filter() {
+        let t = mk(&[1, 2, 3, 4]);
+        assert_eq!(truncate(&t, 2).len(), 2);
+        assert_eq!(truncate(&t, 99).len(), 4);
+        let odd = filter(&t, |r| r.key % 2 == 1);
+        assert_eq!(odd.len(), 2);
+    }
+
+    #[test]
+    fn gets_only_drops_writes() {
+        let mut t = mk(&[1, 2]);
+        t.requests.push(Request::set(SimTime::from_millis(3), 9, 8, 10));
+        assert_eq!(gets_only(&t).len(), 2);
+    }
+
+    #[test]
+    fn scale_time_compresses() {
+        let t = mk(&[10, 20]);
+        let s = scale_time(&t, 1, 10);
+        assert_eq!(s.requests[0].time, SimTime::from_millis(1));
+        assert_eq!(s.requests[1].time, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn merge_interleaves_sorted() {
+        let a = mk(&[0, 20, 40]);
+        let b = mk(&[10, 30]);
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_sorted());
+        let times: Vec<u64> = m.iter().map(|r| r.time.as_micros() / 1000).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn merge_tie_prefers_first_input() {
+        let a = mk(&[5]);
+        let mut b = mk(&[5]);
+        b.requests[0].key = 999;
+        let m = merge(&a, &b);
+        assert_eq!(m.requests[0].key, 0);
+        assert_eq!(m.requests[1].key, 999);
+    }
+
+    #[test]
+    fn splice_inserts_at_get_index() {
+        let base = mk(&[0, 10, 20, 30]);
+        let burst: Trace =
+            (0..2).map(|i| Request::set(SimTime::ZERO, 100 + i, 8, 10)).collect();
+        let s = splice_at_get(&base, &burst, 2);
+        assert_eq!(s.len(), 6);
+        // burst lands before the 3rd GET, timestamped at its time
+        assert_eq!(s.requests[2].op, Op::Set);
+        assert_eq!(s.requests[2].time, SimTime::from_millis(20));
+        assert_eq!(s.requests[3].op, Op::Set);
+        assert_eq!(s.requests[4].op, Op::Get);
+        assert!(s.is_sorted());
+    }
+
+    #[test]
+    fn splice_past_end_appends() {
+        let base = mk(&[0, 10]);
+        let burst: Trace = std::iter::once(Request::set(SimTime::ZERO, 7, 8, 10)).collect();
+        let s = splice_at_get(&base, &burst, 99);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.requests[2].op, Op::Set);
+        assert_eq!(s.requests[2].time, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn splice_empty_burst_is_identity() {
+        let base = mk(&[0, 10]);
+        assert_eq!(splice_at_get(&base, &Trace::new(), 1), base);
+    }
+}

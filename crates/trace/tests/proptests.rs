@@ -1,0 +1,167 @@
+//! Property-based tests for the trace crate: codec round-trips on
+//! arbitrary traces, transform algebra, and estimator guarantees.
+
+use pama_trace::codec;
+use pama_trace::transform;
+use pama_trace::{Op, PenaltyEstimator, Request, Trace};
+use pama_util::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::Get), Just(Op::Set), Just(Op::Delete), Just(Op::Replace)]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (any::<u32>(), arb_op(), any::<u64>(), 0u32..1_000, 0u32..(1 << 21), 0u64..10_000_000)
+        .prop_map(|(t, op, key, ks, vs, pen)| Request {
+            time: SimTime::from_micros(u64::from(t)),
+            op,
+            key,
+            key_size: ks,
+            value_size: vs,
+            penalty_us: pen,
+        })
+}
+
+fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 0..max).prop_map(|mut reqs| {
+        reqs.sort_by_key(|r| r.time);
+        Trace::from_requests(reqs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_codec_roundtrips(trace in arb_trace(200)) {
+        let mut buf = Vec::new();
+        codec::write_binary(&trace, &mut buf).unwrap();
+        let back = codec::read_binary(&mut &buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn jsonl_codec_roundtrips(trace in arb_trace(100)) {
+        let mut buf = Vec::new();
+        codec::write_jsonl(&trace, &mut buf).unwrap();
+        let back = codec::read_jsonl(&mut &buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn binary_detects_any_truncation(trace in arb_trace(50), cut in 1usize..20) {
+        prop_assume!(!trace.is_empty());
+        let mut buf = Vec::new();
+        codec::write_binary(&trace, &mut buf).unwrap();
+        let cut = cut.min(buf.len() - 1);
+        buf.truncate(buf.len() - cut);
+        prop_assert!(codec::read_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn repeat_preserves_length_and_order(trace in arb_trace(80), times in 0usize..4) {
+        let r = transform::repeat(&trace, times, SimDuration::from_millis(1));
+        if trace.is_empty() {
+            prop_assert!(r.is_empty());
+        } else {
+            prop_assert_eq!(r.len(), trace.len() * times);
+        }
+        prop_assert!(r.is_sorted());
+        // Each repetition preserves the key sequence.
+        for rep in 0..times {
+            for (i, orig) in trace.iter().enumerate() {
+                let got = &r.requests[rep * trace.len() + i];
+                prop_assert_eq!(got.key, orig.key);
+                prop_assert_eq!(got.op, orig.op);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_sorted_and_complete(a in arb_trace(80), b in arb_trace(80)) {
+        let m = transform::merge(&a, &b);
+        prop_assert_eq!(m.len(), a.len() + b.len());
+        prop_assert!(m.is_sorted());
+    }
+
+    #[test]
+    fn filter_and_gets_only_agree(trace in arb_trace(120)) {
+        let g1 = transform::gets_only(&trace);
+        let g2 = transform::filter(&trace, |r| r.op == Op::Get);
+        prop_assert_eq!(g1, g2);
+        prop_assert_eq!(transform::gets_only(&trace).len(), trace.num_gets());
+    }
+
+    #[test]
+    fn truncate_is_prefix(trace in arb_trace(100), n in 0usize..120) {
+        let t = transform::truncate(&trace, n);
+        prop_assert_eq!(t.len(), n.min(trace.len()));
+        prop_assert_eq!(&t.requests[..], &trace.requests[..t.len()]);
+    }
+
+    #[test]
+    fn splice_preserves_base_order(base in arb_trace(80), at in 0usize..100) {
+        // Confine base keys below the burst marker namespace.
+        let base = Trace::from_requests(
+            base.requests
+                .iter()
+                .map(|r| Request { key: r.key % 1_000_000, ..*r })
+                .collect(),
+        );
+        let burst: Trace =
+            (0..5).map(|i| Request::set(SimTime::ZERO, 1_000_000 + i, 8, 10)).collect();
+        let s = transform::splice_at_get(&base, &burst, at);
+        prop_assert_eq!(s.len(), base.len() + burst.len());
+        prop_assert!(s.is_sorted());
+        // Base requests keep their relative order.
+        let kept: Vec<(SimTime, u64)> = s
+            .iter()
+            .filter(|r| r.key < 1_000_000)
+            .map(|r| (r.time, r.key))
+            .collect();
+        let orig: Vec<(SimTime, u64)> =
+            base.iter().map(|r| (r.time, r.key)).collect();
+        prop_assert_eq!(kept, orig);
+    }
+
+    #[test]
+    fn estimator_never_exceeds_cap(trace in arb_trace(200)) {
+        let map = PenaltyEstimator::estimate(&trace);
+        for (_, p) in map.iter() {
+            prop_assert!(p <= SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn estimator_recovers_exact_pairs(
+        keys in prop::collection::hash_set(any::<u64>(), 1..30),
+        gap_ms in 1u64..4_000,
+    ) {
+        // Construct clean GET→SET pairs; the estimator must recover the
+        // exact gap for every key.
+        let mut reqs = Vec::new();
+        let mut t = 0u64;
+        for &k in &keys {
+            reqs.push(Request::get(SimTime::from_millis(t), k, 8, 10));
+            reqs.push(Request::set(SimTime::from_millis(t + gap_ms), k, 8, 10));
+            t += gap_ms + 10_000; // keep keys' windows apart
+        }
+        let map = PenaltyEstimator::estimate(&Trace::from_requests(reqs));
+        for &k in &keys {
+            prop_assert_eq!(map.penalty(k), SimDuration::from_millis(gap_ms));
+        }
+    }
+
+    #[test]
+    fn annotate_only_fills_unknowns(trace in arb_trace(100)) {
+        let mut annotated = trace.clone();
+        let map = pama_trace::PenaltyMap::new(); // empty → default 100ms
+        map.annotate(&mut annotated);
+        for (orig, ann) in trace.iter().zip(annotated.iter()) {
+            if orig.penalty_us > 0 {
+                prop_assert_eq!(ann.penalty_us, orig.penalty_us);
+            } else {
+                prop_assert_eq!(ann.penalty_us, 100_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Fast non-cryptographic hashing.
+//!
+//! The simulator hashes tens of millions of keys per second; the SipHash
+//! default of `std::collections::HashMap` is measurably too slow for that
+//! hot path (see the Rust Performance Book, "Hashing"). This module
+//! provides two small, deterministic hashers:
+//!
+//! * [`FxHasher64`] — the rustc `FxHash` multiply-xor scheme, extremely
+//!   fast for short integer keys (our item keys are `u64`).
+//! * [`Mix13Hasher`] — a stronger finalizer (Stafford's mix13 variant of
+//!   the SplitMix64 finalizer) for use where avalanche quality matters,
+//!   e.g. deriving the `k` Bloom-filter probe positions from one hash.
+//!
+//! Both hashers are deterministic (no per-process random seed), which the
+//! simulation relies on for reproducibility.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher64`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+/// `HashSet` keyed with [`FxHasher64`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher64>>;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-FxHash 64-bit hasher: rotate, xor, multiply per word.
+///
+/// Very fast for short keys; adequate distribution for hash maps but
+/// *not* for deriving many independent probe positions — use
+/// [`Mix13Hasher`] or [`mix13`] for that.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+impl FxHasher64 {
+    /// Creates a hasher with an empty state.
+    #[inline]
+    pub fn new() -> Self {
+        Self { state: 0 }
+    }
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Stafford "mix13" finalizer over SplitMix64's constants.
+///
+/// A full-avalanche bijective mixer on `u64`: every input bit affects
+/// every output bit with probability ≈ 1/2. Used by the Bloom filters to
+/// derive independent probe indexes and by samplers to decorrelate key
+/// ids from popularity ranks.
+#[inline]
+pub const fn mix13(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Inverse of [`mix13`]; used in tests to prove bijectivity and handy for
+/// reverse lookups in debugging tools.
+#[inline]
+pub const fn mix13_inverse(mut z: u64) -> u64 {
+    // Invert `z ^= z >> 31` (two steps: 31 then 62).
+    z ^= (z >> 31) ^ (z >> 62);
+    z = z.wrapping_mul(0x3196_42b2_d24d_8ec3); // modular inverse of 0x94d049bb133111eb
+    z ^= (z >> 27) ^ (z >> 54);
+    z = z.wrapping_mul(0x96de_1b17_3f11_9089); // modular inverse of 0xbf58476d1ce4e5b9
+    z ^= (z >> 30) ^ (z >> 60);
+    z
+}
+
+/// A [`Hasher`] built on [`mix13`], folding each written word into the
+/// state with a xor-multiply and applying the finalizer in `finish`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mix13Hasher {
+    state: u64,
+}
+
+impl Hasher for Mix13Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix13(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.write_u64(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.write_u64(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = mix13(self.state ^ n).wrapping_mul(FX_SEED);
+    }
+}
+
+/// Hashes a `u64` key with a seed, producing an avalanche-quality hash.
+///
+/// This is the primitive the Bloom filters and samplers use: cheap,
+/// stateless, and seedable so that distinct filters probe independently.
+#[inline]
+pub const fn hash_u64(key: u64, seed: u64) -> u64 {
+    mix13(key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fx(v: impl Hash) -> u64 {
+        let mut h = FxHasher64::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic() {
+        assert_eq!(fx(42u64), fx(42u64));
+        assert_eq!(fx("hello"), fx("hello"));
+    }
+
+    #[test]
+    fn fx_hash_separates_nearby_keys() {
+        // Not a quality proof, just a regression guard: sequential keys
+        // must not collide.
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(fx).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn fx_hash_handles_unaligned_tails() {
+        // 1..16 byte slices all hash without panicking and differ.
+        let bytes: Vec<u8> = (0u8..16).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=bytes.len() {
+            assert!(seen.insert(fx(&bytes[..len])), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn mix13_roundtrips() {
+        for i in 0..1_000u64 {
+            let x = i.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            assert_eq!(mix13_inverse(mix13(x)), x);
+        }
+        assert_eq!(mix13_inverse(mix13(u64::MAX)), u64::MAX);
+        assert_eq!(mix13_inverse(mix13(0)), 0);
+    }
+
+    #[test]
+    fn mix13_avalanches() {
+        // Flipping any single input bit flips between 20 and 44 of the 64
+        // output bits (expected 32) for a sample of inputs.
+        for &x in &[0u64, 1, 0xdead_beef, u64::MAX / 3] {
+            for bit in 0..64 {
+                let d = (mix13(x) ^ mix13(x ^ (1 << bit))).count_ones();
+                assert!((16..=48).contains(&d), "weak avalanche: bit {bit} of {x:#x} -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_u64_seeds_are_independent() {
+        let a: Vec<u64> = (0..64).map(|i| hash_u64(i, 1)).collect();
+        let b: Vec<u64> = (0..64).map(|i| hash_u64(i, 2)).collect();
+        let equal = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn fast_map_works_as_hashmap() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        m.remove(&500);
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn mix13_hasher_distinguishes_length() {
+        // Tail bytes are tagged with length so "ab" != "ab\0".
+        let mut h1 = Mix13Hasher::default();
+        h1.write(b"ab");
+        let mut h2 = Mix13Hasher::default();
+        h2.write(b"ab\0");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

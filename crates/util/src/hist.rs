@@ -1,0 +1,331 @@
+//! Histograms with percentile queries.
+//!
+//! Two flavours:
+//!
+//! * [`LinearHistogram`] — equal-width buckets over a bounded range, for
+//!   quantities like per-window hit ratios.
+//! * [`LogHistogram`] — power-of-two buckets over `u64`, for
+//!   heavy-tailed quantities (item sizes 2 B … 1 MB, penalties
+//!   1 ms … 5 s). This is the histogram behind the Fig. 1 reproduction
+//!   and the reuse-distance profiles in the LAMA-lite allocator.
+//!
+//! Both are plain arrays of counters: O(1) insert, mergeable, serde-able.
+
+use serde::{Deserialize, Serialize};
+
+/// Equal-width histogram over `[lo, hi)` with out-of-range clamping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LinearHistogram {
+    /// Creates a histogram of `buckets` equal-width bins spanning
+    /// `[lo, hi)`. Samples outside the range clamp into the end bins.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        Self { lo, hi, counts: vec![0; buckets], total: 0 }
+    }
+
+    /// Records a sample.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        let n = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.counts[idx.min(n - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Approximate `q`-quantile (q in \[0,1\]) via bucket interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bucket_mid(i));
+            }
+        }
+        Some(self.bucket_mid(self.counts.len() - 1))
+    }
+
+    /// Adds every bucket of `other` (must have identical shape).
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn merge(&mut self, other: &LinearHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(self.lo, other.lo, "range mismatch");
+        assert_eq!(self.hi, other.hi, "range mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Power-of-two bucketed histogram over `u64` values.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; value 0 lands in bucket 0.
+/// With 64 buckets the full `u64` domain is covered, but a smaller
+/// `max_buckets` clamps the tail (e.g. 21 buckets for sizes ≤ 1 MiB).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `max_buckets` power-of-two bins.
+    ///
+    /// # Panics
+    /// Panics if `max_buckets` is 0 or exceeds 64.
+    pub fn new(max_buckets: usize) -> Self {
+        assert!((1..=64).contains(&max_buckets), "1..=64 buckets required");
+        Self { counts: vec![0; max_buckets], total: 0, sum: 0 }
+    }
+
+    /// Index of the bucket that holds `x`.
+    #[inline]
+    pub fn bucket_of(&self, x: u64) -> usize {
+        let b = if x == 0 { 0 } else { 63 - x.leading_zeros() as usize };
+        b.min(self.counts.len() - 1)
+    }
+
+    /// Records a sample.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += u128::from(x);
+    }
+
+    /// Records a sample with a weight (used for byte-weighted size
+    /// profiles).
+    #[inline]
+    pub fn record_n(&mut self, x: u64, n: u64) {
+        let b = self.bucket_of(x);
+        self.counts[b] += n;
+        self.total += n;
+        self.sum += u128::from(x) * u128::from(n);
+    }
+
+    /// Total number of samples.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Lower bound of bucket `i` (`0` for bucket 0).
+    pub fn bucket_lo(&self, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Approximate `q`-quantile using the geometric midpoint of the
+    /// bucket containing the target rank.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // geometric midpoint of [2^i, 2^(i+1))
+                let lo = (1u64 << i).max(1);
+                return Some(lo + lo / 2);
+            }
+        }
+        Some(1u64 << (self.counts.len() - 1))
+    }
+
+    /// Adds every bucket of `other` (must have identical bucket count).
+    ///
+    /// # Panics
+    /// Panics when bucket counts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Iterator of `(bucket_lo, count)` pairs for non-empty buckets.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_lo(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucketing_and_clamping() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 10);
+        h.record(-5.0); // clamps into bucket 0
+        h.record(0.5);
+        h.record(9.99);
+        h.record(42.0); // clamps into last bucket
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+    }
+
+    #[test]
+    fn linear_quantiles() {
+        let mut h = LinearHistogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() <= 1.0, "median {med}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 95.0).abs() <= 1.0, "p95 {p95}");
+        assert_eq!(LinearHistogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn linear_merge() {
+        let mut a = LinearHistogram::new(0.0, 4.0, 4);
+        let mut b = LinearHistogram::new(0.0, 4.0, 4);
+        a.record(0.5);
+        b.record(3.5);
+        b.record(3.6);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts(), &[1, 0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn linear_merge_shape_mismatch_panics() {
+        let mut a = LinearHistogram::new(0.0, 4.0, 4);
+        let b = LinearHistogram::new(0.0, 4.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn log_bucket_boundaries() {
+        let h = LogHistogram::new(64);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(1), 0);
+        assert_eq!(h.bucket_of(2), 1);
+        assert_eq!(h.bucket_of(3), 1);
+        assert_eq!(h.bucket_of(4), 2);
+        assert_eq!(h.bucket_of(1023), 9);
+        assert_eq!(h.bucket_of(1024), 10);
+        assert_eq!(h.bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn log_tail_clamps() {
+        let mut h = LogHistogram::new(4);
+        h.record(1 << 20);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn log_mean_is_exact() {
+        let mut h = LogHistogram::new(32);
+        for x in [1u64, 2, 3, 10, 100] {
+            h.record(x);
+        }
+        assert!((h.mean() - 23.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_record_n_weights() {
+        let mut h = LogHistogram::new(16);
+        h.record_n(8, 5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[3], 5);
+        assert!((h.mean() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_quantile_tracks_distribution() {
+        let mut h = LogHistogram::new(32);
+        // 90 small values, 10 large
+        h.record_n(16, 90);
+        h.record_n(1 << 20, 10);
+        let med = h.quantile(0.5).unwrap();
+        assert!(med < 64, "median should sit in the small mode, got {med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= (1 << 20), "p99 should sit in the large mode, got {p99}");
+    }
+
+    #[test]
+    fn log_merge_and_nonzero() {
+        let mut a = LogHistogram::new(16);
+        let mut b = LogHistogram::new(16);
+        a.record(2);
+        b.record(1024);
+        a.merge(&b);
+        let nz: Vec<(u64, u64)> = a.nonzero().collect();
+        assert_eq!(nz, vec![(2, 1), (1024, 1)]);
+        assert_eq!(a.total(), 2);
+    }
+}

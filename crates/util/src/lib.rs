@@ -1,0 +1,35 @@
+//! # pama-util
+//!
+//! Foundation crate for the PAMA reproduction: fast non-cryptographic
+//! hashing, simulated time, deterministic random number generation,
+//! streaming statistics, histograms, and plain-text table/CSV rendering.
+//!
+//! Everything in this crate is deliberately dependency-light and
+//! deterministic so that simulation results are bit-for-bit reproducible
+//! across runs and machines.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`hash`] | `FxHasher64`, `Mix13Hasher`, `FastMap`/`FastSet` aliases |
+//! | [`time`] | [`time::SimTime`] / [`time::SimDuration`] fixed-point microsecond clock |
+//! | [`rng`] | `SplitMix64`, `Xoshiro256StarStar`, the [`rng::Rng`] trait with float/normal helpers |
+//! | [`stats`] | streaming mean/variance, EWMA, windowed counters |
+//! | [`hist`] | linear and logarithmic histograms with percentile queries |
+//! | [`table`] | ASCII tables and CSV emission for experiment output |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hash;
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use hash::{FastMap, FastSet};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use stats::StreamingStats;
+pub use time::{SimDuration, SimTime};

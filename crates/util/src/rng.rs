@@ -1,0 +1,335 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workload generators must be reproducible: the same seed must
+//! produce the same trace on every machine so that experiments in
+//! EXPERIMENTS.md can be re-run bit-for-bit. We therefore implement the
+//! generators ourselves instead of depending on a crate whose stream
+//! might change between versions:
+//!
+//! * [`SplitMix64`] — tiny, used for seeding and for cheap decorrelated
+//!   streams.
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman &
+//!   Vigna), 256-bit state, passes BigCrush; `jump()` provides 2^128
+//!   non-overlapping subsequences for parallel workers.
+//!
+//! The [`Rng`] trait layers distribution helpers (uniform floats,
+//! ranges, Bernoulli, normal, exponential) on any `u64` source.
+
+/// A source of uniform random `u64`s plus derived distributions.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; dividing by 2^53 yields [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1]` — safe for `ln()`.
+    #[inline]
+    fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's multiply-shift method
+    /// (unbiased, no modulo in the common case).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[inline]
+    fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to \[0,1\]).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal via the Box–Muller transform (one value per call;
+    /// we deliberately do not cache the second value so that the output
+    /// stream is a pure function of call count).
+    #[inline]
+    fn gen_normal(&mut self) -> f64 {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Exponential with rate `lambda` (mean `1/lambda`).
+    #[inline]
+    fn gen_exp(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        -self.next_f64_open().ln() / lambda
+    }
+
+    /// Log-normal with parameters `mu`/`sigma` of the underlying normal.
+    #[inline]
+    fn gen_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gen_normal()).exp()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64 (Steele, Lea, Flood): a 64-bit state generator mainly used
+/// to expand one seed into many independent seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        crate::hash::mix13(self.state)
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna, 2018).
+///
+/// The default generator for all workload synthesis. State must not be
+/// all zeros; [`Xoshiro256StarStar::from_seed`] guards against that by
+/// seeding through SplitMix64 as the authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the generator through SplitMix64 (never yields the all-zero
+    /// state).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Jump function: advances the state by 2^128 steps, yielding a
+    /// non-overlapping subsequence. Call `k` times to obtain the `k`-th
+    /// parallel stream.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] =
+            [0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c];
+        let mut t = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    t[0] ^= self.s[0];
+                    t[1] ^= self.s[1];
+                    t[2] ^= self.s[2];
+                    t[3] ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+
+    /// Derives the `k`-th independent stream from this generator's
+    /// current state (clone + `k` jumps).
+    pub fn stream(&self, k: u32) -> Self {
+        let mut g = self.clone();
+        for _ in 0..=k {
+            g.jump();
+        }
+        g
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_matches_reference_vectors() {
+        // Reference: the xoshiro256** C implementation seeded with the
+        // explicit state {1, 2, 3, 4} produces these first outputs.
+        let mut g = Xoshiro256StarStar { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] =
+            [11520, 0, 1509978240, 1215971899390074240, 1216172134540287360];
+        for e in expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::from_seed(7);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::from_seed(7);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::from_seed(8);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jump_streams_do_not_collide() {
+        let base = Xoshiro256StarStar::from_seed(42);
+        let mut s0 = base.stream(0);
+        let mut s1 = base.stream(1);
+        let a: Vec<u64> = (0..64).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..64).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut g = Xoshiro256StarStar::from_seed(1);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = g.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_enough() {
+        let mut g = Xoshiro256StarStar::from_seed(2);
+        let n = 7u64;
+        let mut counts = [0u32; 7];
+        let trials = 70_000;
+        for _ in 0..trials {
+            counts[g.gen_range(n) as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn gen_range_zero_panics() {
+        let mut g = SplitMix64::new(1);
+        let _ = g.gen_range(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut g = Xoshiro256StarStar::from_seed(3);
+        let n = 100_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = g.gen_normal();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut g = Xoshiro256StarStar::from_seed(4);
+        let n = 100_000;
+        let lambda = 4.0;
+        let mean: f64 = (0..n).map(|_| g.gen_exp(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut g = Xoshiro256StarStar::from_seed(5);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| g.gen_lognormal(2.0, 0.7)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[25_000];
+        // median of lognormal = e^mu
+        assert!((median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_bounds() {
+        let mut g = SplitMix64::new(11);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match g.gen_range_inclusive(5, 8) {
+                5 => saw_lo = true,
+                8 => saw_hi = true,
+                x => assert!((5..=8).contains(&x)),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

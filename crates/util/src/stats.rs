@@ -1,0 +1,387 @@
+//! Streaming statistics.
+//!
+//! The engine reports per-window metrics over hundreds of millions of
+//! requests, so every statistic here is O(1) per sample and allocation
+//! free: Welford mean/variance ([`StreamingStats`]), exponentially
+//! weighted moving averages ([`Ewma`]), simple ratio counters
+//! ([`RatioCounter`]), and a fixed-capacity ring for windowed rates
+//! ([`SlidingWindow`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style single-pass mean / variance / min / max accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction;
+    /// Chan et al. pairwise update).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[inline]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// Exponentially weighted moving average with configurable smoothing
+/// factor `alpha` in (0, 1]; `alpha = 1` degrades to "last sample".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given smoothing factor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        Self { alpha, value: None }
+    }
+
+    /// Folds in one observation; the first observation initialises the
+    /// average exactly.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current average, `None` before any sample.
+    #[inline]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Hit/total ratio counter used for windowed hit-ratio reporting.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RatioCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl RatioCounter {
+    /// Records one event; `hit` marks it as a numerator event.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += u64::from(hit);
+    }
+
+    /// Numerator count.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator count.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Misses, i.e. `total - hits`.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Ratio in \[0,1\]; 0 for an empty counter.
+    #[inline]
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Zeroes both counts (start of a new window).
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Fixed-capacity ring buffer of f64 samples with O(1) push and O(1)
+/// running sum — the building block for "rate over the last N windows"
+/// smoothing in the allocator policies.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { buf: vec![0.0; capacity], head: 0, len: 0, sum: 0.0 }
+    }
+
+    /// Pushes a sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.buf.len() {
+            self.sum -= self.buf[self.head];
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.head] = x;
+        self.sum += x;
+        self.head = (self.head + 1) % self.buf.len();
+    }
+
+    /// Number of live samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no samples have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of live samples.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of live samples (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_match_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+        assert!((s.sum() - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(2.0);
+        a.push(4.0);
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.push(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        for _ in 0..50 {
+            e.push(2.0);
+        }
+        assert!((e.value().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn ratio_counter() {
+        let mut r = RatioCounter::default();
+        assert_eq!(r.ratio(), 0.0);
+        r.record(true);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.misses(), 1);
+        assert_eq!(r.total(), 4);
+        assert!((r.ratio() - 0.75).abs() < 1e-12);
+        r.reset();
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert_eq!(w.sum(), 6.0);
+        w.push(10.0); // evicts 1.0
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sum(), 15.0);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_partial_fill_mean() {
+        let mut w = SlidingWindow::new(10);
+        w.push(4.0);
+        w.push(6.0);
+        assert_eq!(w.len(), 2);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Plain-text experiment output: aligned ASCII tables, CSV emission,
+//! and a tiny terminal "sparkline" renderer for time-series previews.
+//!
+//! The `pama-bench` harness prints every figure's data as both a CSV
+//! file (for external plotting) and an aligned table / sparkline pair so
+//! the shapes the paper reports can be eyeballed straight from the
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// Column alignment for [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// An aligned monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; all columns default
+    /// to right alignment except the first (label) column.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if !aligns.is_empty() {
+            aligns[0] = Align::Left;
+        }
+        Self { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Overrides one column's alignment.
+    pub fn align(mut self, col: usize, a: Align) -> Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    /// Appends a row; panics if the width differs from the header row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match self.aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<width$}", c, width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>width$}", c, width = widths[i]);
+                    }
+                }
+            }
+            // trim trailing pad
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the same data as CSV (RFC-4180 quoting where needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_escape(c));
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field when it contains a comma, quote, or newline.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Formats a float with `prec` digits, trimming to at most 12 chars.
+pub fn fnum(x: f64, prec: usize) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    format!("{x:.prec$}")
+}
+
+/// Renders a unicode sparkline of a series scaled into min..max.
+///
+/// Empty input yields an empty string; a constant series renders at the
+/// middle level.
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in series {
+        if x.is_finite() {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "?".repeat(series.len());
+    }
+    let span = hi - lo;
+    series
+        .iter()
+        .map(|&x| {
+            if !x.is_finite() {
+                return '?';
+            }
+            if span == 0.0 {
+                return LEVELS[3];
+            }
+            let t = ((x - lo) / span * 7.0).round() as usize;
+            LEVELS[t.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by averaging equal chunks;
+/// used before sparkline rendering of long per-window series.
+pub fn downsample(series: &[f64], n: usize) -> Vec<f64> {
+    if n == 0 || series.is_empty() {
+        return Vec::new();
+    }
+    if series.len() <= n {
+        return series.to_vec();
+    }
+    let chunk = series.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| {
+            let a = (i as f64 * chunk) as usize;
+            let b = (((i + 1) as f64 * chunk) as usize).min(series.len()).max(a + 1);
+            series[a..b].iter().sum::<f64>() / (b - a) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["scheme", "hit%", "svc(ms)"]);
+        t.row(vec!["PAMA", "71.2", "18.3"]);
+        t.row(vec!["PSA", "74.9", "45.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scheme"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("PAMA"));
+        // numeric columns right-aligned: "71.2" ends at same col as "hit%"
+        let hdr_end = lines[0].find("hit%").unwrap() + 4;
+        let val_end = lines[2].find("71.2").unwrap() + 4;
+        assert_eq!(hdr_end, val_end);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["x,y", "1"]);
+        assert!(t.to_csv().contains("\"x,y\",1"));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]).chars().next(), Some('?'));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 4.5).abs() < 1e-9);
+        assert!((d[9] - 94.5).abs() < 1e-9);
+        assert_eq!(downsample(&xs, 200).len(), 100);
+        assert!(downsample(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(f64::INFINITY, 2), "inf");
+    }
+}

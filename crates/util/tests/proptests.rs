@@ -1,0 +1,215 @@
+//! Property-based tests for the foundation crate.
+
+use pama_util::hash::{hash_u64, mix13, mix13_inverse};
+use pama_util::hist::{LinearHistogram, LogHistogram};
+use pama_util::stats::{RatioCounter, SlidingWindow, StreamingStats};
+use pama_util::table::{csv_escape, downsample, sparkline};
+use pama_util::{Rng, SimDuration, SimTime, SplitMix64, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mix13_is_bijective(x in any::<u64>()) {
+        prop_assert_eq!(mix13_inverse(mix13(x)), x);
+        prop_assert_eq!(mix13(mix13_inverse(x)), x);
+    }
+
+    #[test]
+    fn hash_u64_is_deterministic(key in any::<u64>(), seed in any::<u64>()) {
+        prop_assert_eq!(hash_u64(key, seed), hash_u64(key, seed));
+    }
+
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>(), n in 1usize..200) {
+        let mut a = Xoshiro256StarStar::from_seed(seed);
+        let mut b = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_range(seed in any::<u64>(), n in 1u64..1_000_000, draws in 1usize..100) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..draws {
+            prop_assert!(g.gen_range(n) < n);
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut g = SplitMix64::new(seed);
+        let hi = lo + span;
+        for _ in 0..20 {
+            let x = g.gen_range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range(seed in any::<u64>()) {
+        let mut g = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..100 {
+            let x = g.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            let y = g.next_f64_open();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 0usize..100) {
+        let mut g = SplitMix64::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streaming_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert_eq!(s.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn stats_merge_associative_enough(
+        a in prop::collection::vec(-100f64..100.0, 0..50),
+        b in prop::collection::vec(-100f64..100.0, 0..50),
+    ) {
+        let mut whole = StreamingStats::new();
+        for &x in a.iter().chain(&b) {
+            whole.push(x);
+        }
+        let mut pa = StreamingStats::new();
+        for &x in &a {
+            pa.push(x);
+        }
+        let mut pb = StreamingStats::new();
+        for &x in &b {
+            pb.push(x);
+        }
+        pa.merge(&pb);
+        prop_assert_eq!(pa.count(), whole.count());
+        prop_assert!((pa.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((pa.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sliding_window_sum_matches_tail(xs in prop::collection::vec(-1e3f64..1e3, 1..100), cap in 1usize..20) {
+        let mut w = SlidingWindow::new(cap);
+        for &x in &xs {
+            w.push(x);
+        }
+        let tail: Vec<f64> = xs.iter().rev().take(cap).cloned().collect();
+        prop_assert_eq!(w.len(), tail.len());
+        prop_assert!((w.sum() - tail.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_counter_counts(hits in 0u32..1000, misses in 0u32..1000) {
+        let mut r = RatioCounter::default();
+        for _ in 0..hits {
+            r.record(true);
+        }
+        for _ in 0..misses {
+            r.record(false);
+        }
+        prop_assert_eq!(r.hits(), u64::from(hits));
+        prop_assert_eq!(r.misses(), u64::from(misses));
+        if hits + misses > 0 {
+            let expect = f64::from(hits) / f64::from(hits + misses);
+            prop_assert!((r.ratio() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_histogram_total_and_quantiles_are_consistent(xs in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = LogHistogram::new(32);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let q0 = h.quantile(0.0).unwrap();
+        let q1 = h.quantile(1.0).unwrap();
+        prop_assert!(q0 <= q1);
+        // Mean is exact.
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * (1.0 + mean));
+    }
+
+    #[test]
+    fn linear_histogram_never_loses_samples(xs in prop::collection::vec(-10f64..110.0, 1..300)) {
+        let mut h = LinearHistogram::new(0.0, 100.0, 17);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut h = LogHistogram::new(24);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev, "quantile not monotone");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn csv_escape_roundtrip_shape(s in "[ -~]{0,40}") {
+        let e = csv_escape(&s);
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            prop_assert!(e.starts_with('"') && e.ends_with('"'));
+        } else {
+            prop_assert_eq!(&e, &s);
+        }
+    }
+
+    #[test]
+    fn sparkline_length_matches(xs in prop::collection::vec(-1e3f64..1e3, 0..100)) {
+        prop_assert_eq!(sparkline(&xs).chars().count(), xs.len());
+    }
+
+    #[test]
+    fn downsample_bounds(xs in prop::collection::vec(-1e3f64..1e3, 0..200), n in 0usize..50) {
+        let d = downsample(&xs, n);
+        prop_assert!(d.len() <= n.max(xs.len().min(n)));
+        if !xs.is_empty() && n > 0 {
+            prop_assert_eq!(d.len(), xs.len().min(n));
+            let (lo, hi) = xs
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| (l.min(x), h.max(x)));
+            for &v in &d {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..1_000_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_micros(a);
+        let dur = SimDuration::from_micros(d);
+        let t2 = t + dur;
+        prop_assert_eq!(t2 - t, dur);
+        prop_assert_eq!(t2.saturating_since(t), dur);
+        prop_assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,194 @@
+//! The §IV-C cold-burst injector.
+//!
+//! The paper gauges responsiveness to unpopular items: "at the time of
+//! about 0.35 million GET requests we use the SET command to quickly
+//! inject cold KV items whose total size is about 10% of the cache
+//! size … we limit the cold requests' sizes in a relatively small range
+//! covering only three classes". PSA's hit ratio collapses and recovers
+//! slowly; PAMA dips briefly.
+//!
+//! [`ColdBurst`] generates exactly that: a back-to-back run of SETs for
+//! brand-new keys (never requested again) with sizes confined to a
+//! configurable range, totalling a target byte volume.
+
+use crate::dist::PenaltyModel;
+use pama_trace::{Op, Request, Trace};
+use pama_trace::transform::splice_at_get;
+use pama_util::hash::{hash_u64, mix13};
+use pama_util::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Namespace tag xor-ed into burst key ids so they cannot collide with
+/// generator keys (which come from a different mix13 domain).
+const BURST_KEY_DOMAIN: u64 = 0xc01d_b125_7000_0000;
+
+/// Configuration for a cold-item burst.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColdBurst {
+    /// Total bytes of cold items to inject (paper: 10% of cache size).
+    pub total_bytes: u64,
+    /// Smallest item size (key+value bytes) in the burst.
+    pub item_lo: u32,
+    /// Largest item size; `[item_lo, item_hi]` should span ~3 slab
+    /// classes (e.g. 600..4800 covers the 1 KB/2 KB/4 KB classes).
+    pub item_hi: u32,
+    /// Key length for the burst items.
+    pub key_size: u32,
+    /// Penalty model for the cold items.
+    pub penalty: PenaltyModel,
+    /// Seed controlling the burst's keys and sizes.
+    pub seed: u64,
+    /// Emit the burst as GETs (missing, then demand-filled) instead of
+    /// raw SETs. The paper describes "a bursty stream of requests
+    /// accessing and adding new KV items" — under a demand-fill cache
+    /// a cold GET *is* that access-and-add pair, and the miss spike it
+    /// produces in the impacted classes is what baits PSA into
+    /// misdirected relocations (Fig. 9's mechanism). Raw SETs displace
+    /// items silently without the miss signal.
+    pub as_gets: bool,
+}
+
+impl ColdBurst {
+    /// Generates the burst as a standalone trace (all timestamps zero;
+    /// splicing re-timestamps them).
+    ///
+    /// # Panics
+    /// Panics if `item_lo > item_hi`, `item_lo <= key_size`, or
+    /// `total_bytes == 0`.
+    pub fn generate(&self) -> Trace {
+        assert!(self.item_lo <= self.item_hi, "inverted size range");
+        assert!(self.item_lo > self.key_size, "items must be larger than their key");
+        assert!(self.total_bytes > 0, "empty burst");
+        let mut reqs = Vec::new();
+        let mut bytes = 0u64;
+        let mut i = 0u64;
+        while bytes < self.total_bytes {
+            let key = mix13(BURST_KEY_DOMAIN ^ mix13(self.seed ^ i));
+            // size from the key hash: uniform over [item_lo, item_hi]
+            let span = u64::from(self.item_hi - self.item_lo + 1);
+            let item = self.item_lo + (hash_u64(key, 0xb125) % span) as u32;
+            let value_size = item - self.key_size;
+            let u = (hash_u64(key, 0x70e4_a17e) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let penalty = self.penalty.sample_u(u, value_size);
+            let mut req = Request::set(SimTime::ZERO, key, self.key_size, value_size)
+                .with_penalty(penalty);
+            if self.as_gets {
+                req.op = Op::Get;
+            }
+            reqs.push(req);
+            bytes += u64::from(item);
+            i += 1;
+        }
+        Trace::from_requests(reqs)
+    }
+
+    /// Splices the burst into `base` right after its `at_get`-th GET —
+    /// the full Fig. 9 construction.
+    pub fn inject(&self, base: &Trace, at_get: usize) -> Trace {
+        splice_at_get(base, &self.generate(), at_get)
+    }
+}
+
+/// A reasonable default penalty model for cold items: the paper's
+/// 100 ms default with moderate spread.
+pub fn default_burst_penalty() -> PenaltyModel {
+    PenaltyModel::LogNormal {
+        median: SimDuration::from_millis(100),
+        sigma: 1.0,
+        lo: SimDuration::from_millis(1),
+        hi: SimDuration::from_secs(5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_trace::Op;
+
+    fn burst() -> ColdBurst {
+        ColdBurst {
+            total_bytes: 100_000,
+            item_lo: 600,
+            item_hi: 4800,
+            key_size: 24,
+            penalty: default_burst_penalty(),
+            seed: 5,
+            as_gets: false,
+        }
+    }
+
+    #[test]
+    fn get_mode_emits_missing_gets() {
+        let mut b = burst();
+        b.as_gets = true;
+        let t = b.generate();
+        assert!(t.iter().all(|r| r.op == Op::Get));
+        assert!(t.iter().all(|r| r.penalty_us > 0 && r.value_size > 0));
+    }
+
+    #[test]
+    fn burst_meets_byte_target() {
+        let t = burst().generate();
+        let total: u64 = t.iter().map(|r| r.item_bytes()).sum();
+        assert!(total >= 100_000);
+        assert!(total < 100_000 + 4800, "overshoot beyond one item");
+        assert!(t.len() > 20);
+    }
+
+    #[test]
+    fn burst_is_all_sets_with_bounded_sizes() {
+        let t = burst().generate();
+        for r in &t {
+            assert_eq!(r.op, Op::Set);
+            let item = r.item_bytes();
+            assert!((600..=4800).contains(&item), "item {item}");
+            assert!(r.penalty_us > 0);
+        }
+    }
+
+    #[test]
+    fn burst_keys_are_unique_and_deterministic() {
+        let a = burst().generate();
+        let b = burst().generate();
+        assert_eq!(a, b);
+        let keys: std::collections::HashSet<u64> = a.iter().map(|r| r.key).collect();
+        assert_eq!(keys.len(), a.len());
+        let mut other = burst();
+        other.seed = 6;
+        assert_ne!(other.generate(), a);
+    }
+
+    #[test]
+    fn inject_places_burst_mid_trace() {
+        let base: Trace = (0..100)
+            .map(|i| Request::get(SimTime::from_millis(i), i, 8, 50))
+            .collect();
+        let spliced = burst().inject(&base, 50);
+        assert_eq!(spliced.len(), 100 + burst().generate().len());
+        assert!(spliced.is_sorted());
+        // the burst sits right before the 51st GET
+        let first_set = spliced.iter().position(|r| r.op == Op::Set).unwrap();
+        let gets_before = spliced.requests[..first_set]
+            .iter()
+            .filter(|r| r.op == Op::Get)
+            .count();
+        assert_eq!(gets_before, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        let mut b = burst();
+        b.item_lo = 9000;
+        let _ = b.generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than their key")]
+    fn too_small_items_rejected() {
+        let mut b = burst();
+        b.item_lo = 10;
+        b.item_hi = 20;
+        let _ = b.generate();
+    }
+}

@@ -1,0 +1,426 @@
+//! Size and penalty distributions.
+//!
+//! Every distribution here exposes **inverse-CDF sampling from an
+//! explicit uniform deviate** (`sample_u(u)`) in addition to RNG-driven
+//! sampling. The keyspace exploits that: a key's value size and penalty
+//! are functions of a per-key hash, so attributes are stable across the
+//! whole trace without storing per-key state.
+//!
+//! The generalized Pareto parameters used by the ETC preset come from
+//! the published Facebook workload analysis (Atikoglu et al.,
+//! SIGMETRICS'12): value sizes fit GPD(location 0, scale ≈ 214.48,
+//! shape ≈ 0.3485).
+
+use pama_util::{Rng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Inverse standard-normal CDF, Acklam's rational approximation
+/// (|relative error| < 1.15e-9 over (0,1)).
+///
+/// Used to turn per-key uniform hashes into lognormal sizes/penalties
+/// without a stateful RNG.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// A value-size distribution (bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// Always the same size.
+    Fixed(u32),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Smallest size.
+        lo: u32,
+        /// Largest size.
+        hi: u32,
+    },
+    /// Generalized Pareto `GPD(location, scale, shape)` truncated to
+    /// `[1, cap]`. The ETC preset uses the published Facebook fit.
+    GeneralizedPareto {
+        /// Location parameter θ.
+        location: f64,
+        /// Scale parameter σ.
+        scale: f64,
+        /// Shape parameter k (>0 for the heavy tail observed).
+        shape: f64,
+        /// Truncation cap in bytes (Memcached's 1 MB item limit).
+        cap: u32,
+    },
+    /// Lognormal with the given parameters of the underlying normal,
+    /// truncated to `[1, cap]`.
+    LogNormal {
+        /// Mean of ln(size).
+        mu: f64,
+        /// Std-dev of ln(size).
+        sigma: f64,
+        /// Truncation cap in bytes.
+        cap: u32,
+    },
+    /// Weighted mixture of discrete modes — APP-style workloads
+    /// concentrate around a handful of object layouts.
+    DiscreteModes(
+        /// `(size, weight)` pairs; weights need not sum to 1.
+        Vec<(u32, f64)>,
+    ),
+}
+
+impl SizeModel {
+    /// Samples from an explicit uniform deviate in [0,1).
+    pub fn sample_u(&self, u: f64) -> u32 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        match self {
+            SizeModel::Fixed(s) => *s,
+            SizeModel::Uniform { lo, hi } => {
+                let span = f64::from(*hi) - f64::from(*lo) + 1.0;
+                (f64::from(*lo) + u * span) as u32
+            }
+            SizeModel::GeneralizedPareto { location, scale, shape, cap } => {
+                // Inverse CDF: x = loc + scale * ((1-u)^(-k) - 1) / k
+                let x = if shape.abs() < 1e-9 {
+                    location - scale * (1.0 - u).ln()
+                } else {
+                    location + scale * ((1.0 - u).powf(-shape) - 1.0) / shape
+                };
+                (x.max(1.0) as u64).min(u64::from(*cap)) as u32
+            }
+            SizeModel::LogNormal { mu, sigma, cap } => {
+                let u = u.clamp(1e-12, 1.0 - 1e-12);
+                let x = (mu + sigma * inverse_normal_cdf(u)).exp();
+                (x.max(1.0) as u64).min(u64::from(*cap)) as u32
+            }
+            SizeModel::DiscreteModes(modes) => {
+                let total: f64 = modes.iter().map(|(_, w)| w).sum();
+                if total <= 0.0 || modes.is_empty() {
+                    return 1;
+                }
+                let mut target = u * total;
+                for (s, w) in modes {
+                    if target < *w {
+                        return *s;
+                    }
+                    target -= w;
+                }
+                modes.last().unwrap().0
+            }
+        }
+    }
+
+    /// Samples with an RNG.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        self.sample_u(rng.next_f64())
+    }
+}
+
+/// A miss-penalty distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PenaltyModel {
+    /// Always the same penalty.
+    Fixed(SimDuration),
+    /// Lognormal with given median, log-space sigma, clamped to
+    /// `[lo, hi]` — the Fig. 1 shape: ms-to-seconds scatter.
+    LogNormal {
+        /// Median penalty (= e^mu).
+        median: SimDuration,
+        /// Std-dev of ln(penalty).
+        sigma: f64,
+        /// Lower clamp.
+        lo: SimDuration,
+        /// Upper clamp (the paper discards > 5 s).
+        hi: SimDuration,
+    },
+    /// Lognormal whose median grows with item size:
+    /// `median(size) = base_median · (size / ref_size)^exponent`,
+    /// clamped to `[lo, hi]`. A mild positive `exponent` (≈ 0.15)
+    /// reproduces Fig. 1's weak size correlation while preserving the
+    /// wide per-size scatter.
+    SizeCorrelated {
+        /// Median at `ref_size`.
+        base_median: SimDuration,
+        /// Reference size in bytes.
+        ref_size: u32,
+        /// Power-law exponent of the median vs size.
+        exponent: f64,
+        /// Std-dev of ln(penalty).
+        sigma: f64,
+        /// Lower clamp.
+        lo: SimDuration,
+        /// Upper clamp.
+        hi: SimDuration,
+    },
+}
+
+impl PenaltyModel {
+    /// Samples from an explicit uniform deviate, given the item's size
+    /// (only [`PenaltyModel::SizeCorrelated`] uses the size).
+    pub fn sample_u(&self, u: f64, size: u32) -> SimDuration {
+        let u = u.clamp(1e-12, 1.0 - 1e-12);
+        match self {
+            PenaltyModel::Fixed(p) => *p,
+            PenaltyModel::LogNormal { median, sigma, lo, hi } => {
+                let mu = (median.as_micros().max(1) as f64).ln();
+                let x = (mu + sigma * inverse_normal_cdf(u)).exp();
+                SimDuration::from_micros(x as u64).clamp(*lo, *hi)
+            }
+            PenaltyModel::SizeCorrelated { base_median, ref_size, exponent, sigma, lo, hi } => {
+                let ratio = f64::from(size.max(1)) / f64::from((*ref_size).max(1));
+                let median = base_median.as_micros().max(1) as f64 * ratio.powf(*exponent);
+                let x = (median.ln() + sigma * inverse_normal_cdf(u)).exp();
+                SimDuration::from_micros(x as u64).clamp(*lo, *hi)
+            }
+        }
+    }
+
+    /// Samples with an RNG.
+    pub fn sample(&self, rng: &mut impl Rng, size: u32) -> SimDuration {
+        self.sample_u(rng.next_f64(), size)
+    }
+}
+
+/// A key-size distribution. Production key sizes are short and narrow
+/// (ETC: 16–40 B dominates; USR: exactly 16 or 21 B), so a bounded
+/// uniform / discrete model suffices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeySizeModel {
+    /// Always the same key length.
+    Fixed(u32),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Smallest key length.
+        lo: u32,
+        /// Largest key length.
+        hi: u32,
+    },
+    /// Exactly two lengths with a probability for the first — the USR
+    /// trace's 16 B / 21 B split.
+    Two {
+        /// First length.
+        a: u32,
+        /// Second length.
+        b: u32,
+        /// Probability of the first.
+        p_a: f64,
+    },
+}
+
+impl KeySizeModel {
+    /// Samples from an explicit uniform deviate.
+    pub fn sample_u(&self, u: f64) -> u32 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        match self {
+            KeySizeModel::Fixed(s) => *s,
+            KeySizeModel::Uniform { lo, hi } => {
+                let span = f64::from(*hi) - f64::from(*lo) + 1.0;
+                (f64::from(*lo) + u * span) as u32
+            }
+            KeySizeModel::Two { a, b, p_a } => {
+                if u < *p_a {
+                    *a
+                } else {
+                    *b
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::Xoshiro256StarStar;
+
+    #[test]
+    fn inverse_normal_cdf_reference_points() {
+        // Φ⁻¹(0.5)=0, Φ⁻¹(0.975)≈1.959964, Φ⁻¹(0.025)≈-1.959964
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.841344746) - 1.0).abs() < 1e-6);
+        // extreme tails stay finite and monotone
+        assert!(inverse_normal_cdf(1e-10) < -6.0);
+        assert!(inverse_normal_cdf(1.0 - 1e-10) > 6.0);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let x = inverse_normal_cdf(i as f64 / 1000.0);
+            assert!(x > prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn fixed_and_uniform_sizes() {
+        assert_eq!(SizeModel::Fixed(42).sample_u(0.99), 42);
+        let u = SizeModel::Uniform { lo: 10, hi: 20 };
+        assert_eq!(u.sample_u(0.0), 10);
+        assert_eq!(u.sample_u(0.9999999), 20);
+        let mid = u.sample_u(0.5);
+        assert!((10..=20).contains(&mid));
+    }
+
+    #[test]
+    fn gpd_matches_facebook_fit_median() {
+        // GPD(0, 214.476, 0.348538): median = σ((2^k)-1)/k ≈ 167.6
+        let m = SizeModel::GeneralizedPareto {
+            location: 0.0,
+            scale: 214.476,
+            shape: 0.348538,
+            cap: 1 << 20,
+        };
+        let med = m.sample_u(0.5);
+        let expect = 214.476 * ((2f64).powf(0.348538) - 1.0) / 0.348538;
+        assert!(
+            (f64::from(med) - expect).abs() < 2.0,
+            "median {med} vs analytic {expect}"
+        );
+        // tail is heavy but capped
+        assert!(m.sample_u(0.999999999) <= 1 << 20);
+        assert!(m.sample_u(0.9999) > 1000);
+    }
+
+    #[test]
+    fn gpd_shape_zero_degrades_to_exponential() {
+        let m = SizeModel::GeneralizedPareto {
+            location: 0.0,
+            scale: 100.0,
+            shape: 0.0,
+            cap: 1 << 20,
+        };
+        // exponential median = scale*ln2
+        let med = f64::from(m.sample_u(0.5));
+        assert!((med - 100.0 * std::f64::consts::LN_2).abs() < 2.0);
+    }
+
+    #[test]
+    fn lognormal_size_median() {
+        let m = SizeModel::LogNormal { mu: 5.0, sigma: 1.0, cap: 1 << 20 };
+        let med = f64::from(m.sample_u(0.5));
+        assert!((med - 5f64.exp()).abs() < 2.0);
+    }
+
+    #[test]
+    fn sizes_never_zero_or_above_cap() {
+        let models = [
+            SizeModel::GeneralizedPareto {
+                location: 0.0,
+                scale: 214.476,
+                shape: 0.348538,
+                cap: 4096,
+            },
+            SizeModel::LogNormal { mu: 2.0, sigma: 3.0, cap: 4096 },
+        ];
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        for m in &models {
+            for _ in 0..10_000 {
+                let s = m.sample(&mut rng);
+                assert!((1..=4096).contains(&s), "{m:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_modes_respect_weights() {
+        let m = SizeModel::DiscreteModes(vec![(100, 3.0), (1000, 1.0)]);
+        let mut rng = Xoshiro256StarStar::from_seed(2);
+        let n = 40_000;
+        let small = (0..n).filter(|_| m.sample(&mut rng) == 100).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+        // degenerate cases
+        assert_eq!(SizeModel::DiscreteModes(vec![]).sample_u(0.5), 1);
+        assert_eq!(SizeModel::DiscreteModes(vec![(9, 0.0)]).sample_u(0.5), 1);
+    }
+
+    #[test]
+    fn penalty_lognormal_clamps_and_centres() {
+        let m = PenaltyModel::LogNormal {
+            median: SimDuration::from_millis(100),
+            sigma: 1.5,
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_secs(5),
+        };
+        assert_eq!(m.sample_u(0.5, 0), SimDuration::from_millis(100));
+        assert_eq!(m.sample_u(1e-15, 0), SimDuration::from_millis(1));
+        assert_eq!(m.sample_u(1.0, 0), SimDuration::from_secs(5));
+        let mut rng = Xoshiro256StarStar::from_seed(3);
+        for _ in 0..10_000 {
+            let p = m.sample(&mut rng, 100);
+            assert!(p >= SimDuration::from_millis(1) && p <= SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn size_correlated_penalty_grows_with_size() {
+        let m = PenaltyModel::SizeCorrelated {
+            base_median: SimDuration::from_millis(50),
+            ref_size: 100,
+            exponent: 0.3,
+            sigma: 0.0,
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_secs(5),
+        };
+        let small = m.sample_u(0.5, 100);
+        let large = m.sample_u(0.5, 100_000);
+        assert_eq!(small, SimDuration::from_millis(50));
+        assert!(large > small * 5, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn key_size_models() {
+        assert_eq!(KeySizeModel::Fixed(16).sample_u(0.3), 16);
+        let two = KeySizeModel::Two { a: 16, b: 21, p_a: 0.7 };
+        assert_eq!(two.sample_u(0.5), 16);
+        assert_eq!(two.sample_u(0.8), 21);
+        let uni = KeySizeModel::Uniform { lo: 20, hi: 40 };
+        let s = uni.sample_u(0.5);
+        assert!((20..=40).contains(&s));
+    }
+}

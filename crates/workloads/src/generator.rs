@@ -1,0 +1,395 @@
+//! The request generator.
+//!
+//! [`WorkloadConfig`] describes a workload declaratively; [`Workload`]
+//! is the iterator that emits [`Request`]s:
+//!
+//! * **popularity** — a rank per request from an O(1) Zipf sampler;
+//! * **op mix** — GET / SET / DELETE / REPLACE probabilities;
+//! * **arrivals** — Poisson with a configurable mean interarrival,
+//!   optionally modulated by a diurnal factor (the paper notes ~2×
+//!   load swings over a day);
+//! * **churn** — each request may retire a random rank's key, so new
+//!   cold keys keep entering the trace;
+//! * **hot-spot rotation** — optionally the popularity ranking rotates
+//!   through the rank space over time, modelling the "major news or
+//!   media events" pattern shifts the paper calls out (§I).
+//!
+//! Every request carries its key's ground-truth penalty in
+//! `penalty_us`, which the engine uses as the miss cost; the
+//! penalty-estimation code path (`pama-trace::penalty`) can be
+//! exercised on the same traces by stripping the field (see the
+//! `trace_pipeline` example).
+
+use crate::keyspace::{Band, KeySpace};
+use crate::dist::KeySizeModel;
+use crate::zipf::ZipfApprox;
+use pama_trace::{Op, Request, Trace};
+use pama_util::{Rng, SimDuration, SimTime, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+/// Operation-mix probabilities. They are normalised by their sum, so
+/// any positive weights work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// GET weight.
+    pub get: f64,
+    /// SET weight.
+    pub set: f64,
+    /// DELETE weight.
+    pub delete: f64,
+    /// REPLACE weight.
+    pub replace: f64,
+}
+
+impl OpMix {
+    /// A pure-GET mix.
+    pub const GET_ONLY: OpMix = OpMix { get: 1.0, set: 0.0, delete: 0.0, replace: 0.0 };
+
+    fn pick(&self, rng: &mut impl Rng) -> Op {
+        let total = self.get + self.set + self.delete + self.replace;
+        debug_assert!(total > 0.0);
+        let mut t = rng.next_f64() * total;
+        if t < self.get {
+            return Op::Get;
+        }
+        t -= self.get;
+        if t < self.set {
+            return Op::Set;
+        }
+        t -= self.set;
+        if t < self.delete {
+            return Op::Delete;
+        }
+        Op::Replace
+    }
+}
+
+/// Diurnal load modulation: the arrival rate is multiplied by
+/// `1 + amplitude·sin(2π·t/period)`; `amplitude = 1/3` gives the ~2×
+/// peak-to-trough swing the workload study reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Cycle length in simulated time.
+    pub period: SimDuration,
+    /// Relative swing, in `[0, 1)`.
+    pub amplitude: f64,
+}
+
+/// Hot-spot rotation: every `period_requests` requests, the popularity
+/// ranking shifts by `hop` ranks, so a different key population becomes
+/// hot — the "media event" pattern change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotRotation {
+    /// Requests between hops.
+    pub period_requests: u64,
+    /// Ranks to shift per hop.
+    pub hop: u64,
+}
+
+/// Declarative workload description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Human-readable name (e.g. "etc-like").
+    pub name: String,
+    /// RNG seed; same seed ⇒ identical trace.
+    pub seed: u64,
+    /// Number of popularity ranks (≈ live key population).
+    pub n_ranks: u64,
+    /// Zipf exponent of the popularity distribution.
+    pub zipf_alpha: f64,
+    /// Key-length distribution.
+    pub key_size: KeySizeModel,
+    /// Attribute bands (see [`KeySpace`]).
+    pub bands: Vec<Band>,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Per-request probability of retiring one random rank's key.
+    pub churn_per_request: f64,
+    /// Mean request interarrival time.
+    pub mean_interarrival: SimDuration,
+    /// Optional diurnal load modulation.
+    pub diurnal: Option<Diurnal>,
+    /// Optional hot-spot rotation.
+    pub hot_rotation: Option<HotRotation>,
+}
+
+impl WorkloadConfig {
+    /// Builds the request iterator.
+    pub fn build(&self) -> Workload {
+        Workload::new(self.clone())
+    }
+
+    /// Materialises the first `n` requests as a [`Trace`].
+    pub fn generate(&self, n: usize) -> Trace {
+        self.build().take(n).collect()
+    }
+}
+
+/// The streaming request generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    zipf: ZipfApprox,
+    keyspace: KeySpace,
+    rng: Xoshiro256StarStar,
+    clock: SimTime,
+    emitted: u64,
+}
+
+impl Workload {
+    /// Creates a generator from a config.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let zipf = ZipfApprox::new(cfg.n_ranks, cfg.zipf_alpha);
+        let keyspace =
+            KeySpace::new(cfg.n_ranks, cfg.seed, cfg.key_size.clone(), cfg.bands.clone());
+        let rng = Xoshiro256StarStar::from_seed(cfg.seed ^ 0x9e3779b97f4a7c15);
+        Self { cfg, zipf, keyspace, rng, clock: SimTime::ZERO, emitted: 0 }
+    }
+
+    /// The underlying key space (for inspection in tests/examples).
+    pub fn keyspace(&self) -> &KeySpace {
+        &self.keyspace
+    }
+
+    /// Number of requests emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Current diurnal rate factor.
+    fn rate_factor(&self) -> f64 {
+        match self.cfg.diurnal {
+            None => 1.0,
+            Some(d) => {
+                let period = d.period.as_secs_f64().max(1e-9);
+                let phase = self.clock.as_secs_f64() / period;
+                1.0 + d.amplitude * (std::f64::consts::TAU * phase).sin()
+            }
+        }
+    }
+
+    /// Applies hot-spot rotation to a sampled popularity rank.
+    fn effective_rank(&self, zipf_rank: u64) -> u64 {
+        match self.cfg.hot_rotation {
+            None => zipf_rank,
+            Some(rot) => {
+                let hops = self.emitted / rot.period_requests.max(1);
+                (zipf_rank + hops.wrapping_mul(rot.hop)) % self.cfg.n_ranks
+            }
+        }
+    }
+}
+
+impl Iterator for Workload {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        // Advance the clock by an exponential interarrival scaled by the
+        // current diurnal factor (higher factor ⇒ denser arrivals).
+        let mean = self.cfg.mean_interarrival.as_micros().max(1) as f64;
+        let gap = self.rng.gen_exp(self.rate_factor() / mean);
+        self.clock += SimDuration::from_micros(gap.max(0.0) as u64);
+
+        // Churn: retire one random rank's key with the configured
+        // probability.
+        if self.cfg.churn_per_request > 0.0 && self.rng.gen_bool(self.cfg.churn_per_request) {
+            let _ = self.keyspace.churn_random(&mut self.rng);
+        }
+
+        let op = self.cfg.mix.pick(&mut self.rng);
+        // GET/SET/REPLACE follow popularity; DELETE invalidations are
+        // spread uniformly over the catalogue — production deletes
+        // target entries whose source data changed, which is not
+        // popularity-weighted, and Zipf-sampled deletes would create an
+        // unrealistic permanent miss floor on the hottest keys.
+        let rank = if op == Op::Delete {
+            self.rng.gen_range(self.cfg.n_ranks)
+        } else {
+            let zipf_rank = self.zipf.sample(&mut self.rng);
+            self.effective_rank(zipf_rank)
+        };
+        let attrs = self.keyspace.attrs_of_rank(rank);
+        self.emitted += 1;
+
+        let (value_size, penalty_us) = match op {
+            Op::Delete => (0, 0),
+            _ => (attrs.value_size, attrs.penalty.as_micros()),
+        };
+        Some(Request {
+            time: self.clock,
+            op,
+            key: attrs.key,
+            key_size: attrs.key_size,
+            value_size,
+            penalty_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{PenaltyModel, SizeModel};
+    use pama_trace::stats::{estimate_zipf_alpha, popularity_profile, TraceSummary};
+
+    fn base_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            name: "test".into(),
+            seed: 42,
+            n_ranks: 10_000,
+            zipf_alpha: 1.0,
+            key_size: KeySizeModel::Fixed(16),
+            bands: vec![Band {
+                weight: 1.0,
+                value_size: SizeModel::Uniform { lo: 10, hi: 100 },
+                penalty: PenaltyModel::Fixed(SimDuration::from_millis(50)),
+            }],
+            mix: OpMix { get: 0.9, set: 0.05, delete: 0.05, replace: 0.0 },
+            churn_per_request: 0.0,
+            mean_interarrival: SimDuration::from_micros(100),
+            diurnal: None,
+            hot_rotation: None,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = base_cfg();
+        let a = cfg.generate(1000);
+        let b = cfg.generate(1000);
+        assert_eq!(a, b);
+        let mut cfg2 = cfg;
+        cfg2.seed = 43;
+        assert_ne!(cfg2.generate(1000), a);
+    }
+
+    #[test]
+    fn traces_are_time_sorted() {
+        let t = base_cfg().generate(5000);
+        assert!(t.is_sorted());
+        assert_eq!(t.len(), 5000);
+    }
+
+    #[test]
+    fn op_mix_fractions_hold() {
+        let t = base_cfg().generate(50_000);
+        let s = TraceSummary::compute(&t);
+        assert!((s.get_fraction() - 0.9).abs() < 0.01, "gets {}", s.get_fraction());
+        let setf = s.sets as f64 / s.requests as f64;
+        assert!((setf - 0.05).abs() < 0.01, "sets {setf}");
+    }
+
+    #[test]
+    fn popularity_is_zipf() {
+        let mut cfg = base_cfg();
+        cfg.mix = OpMix::GET_ONLY;
+        let t = cfg.generate(200_000);
+        let profile = popularity_profile(&t);
+        let alpha = estimate_zipf_alpha(&profile, 100).unwrap();
+        assert!((alpha - 1.0).abs() < 0.15, "estimated alpha {alpha}");
+    }
+
+    #[test]
+    fn mean_interarrival_close_to_config() {
+        let t = base_cfg().generate(20_000);
+        let mean = t.duration().as_micros() as f64 / (t.len() - 1) as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn churn_introduces_new_keys() {
+        let mut cfg = base_cfg();
+        cfg.churn_per_request = 0.05;
+        cfg.mix = OpMix::GET_ONLY;
+        let mut w = cfg.build();
+        let t: Trace = w.by_ref().take(20_000).collect();
+        assert!(w.keyspace().churn_events() > 500);
+        // with churn, strictly more unique keys than the churn-free
+        // trace of the same seed and length
+        let mut still = base_cfg();
+        still.mix = OpMix::GET_ONLY;
+        let baseline = TraceSummary::compute(&still.generate(20_000)).unique_keys;
+        let churned = TraceSummary::compute(&t).unique_keys;
+        assert!(
+            churned > baseline + 100,
+            "churn added no keys: {churned} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn no_churn_bounds_unique_keys() {
+        let mut cfg = base_cfg();
+        cfg.mix = OpMix::GET_ONLY;
+        let t = cfg.generate(100_000);
+        let s = TraceSummary::compute(&t);
+        assert!(s.unique_keys <= 10_000);
+    }
+
+    #[test]
+    fn hot_rotation_shifts_popular_keys() {
+        let mut cfg = base_cfg();
+        cfg.mix = OpMix::GET_ONLY;
+        cfg.hot_rotation = Some(HotRotation { period_requests: 10_000, hop: 5_000 });
+        let t = cfg.generate(20_000);
+        // The most popular key of the first half should differ from the
+        // second half's.
+        let first: Trace = t.requests[..10_000].iter().copied().collect();
+        let second: Trace = t.requests[10_000..].iter().copied().collect();
+        let top = |tr: &Trace| {
+            let mut counts: std::collections::HashMap<u64, u64> = Default::default();
+            for r in tr {
+                *counts.entry(r.key).or_insert(0) += 1;
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        assert_ne!(top(&first), top(&second));
+    }
+
+    #[test]
+    fn diurnal_modulates_density() {
+        let mut cfg = base_cfg();
+        cfg.diurnal =
+            Some(Diurnal { period: SimDuration::from_secs(4), amplitude: 0.9 });
+        // interarrival 100µs ⇒ ~40k requests per 4s cycle
+        let t = cfg.generate(40_000);
+        // Count requests in the first vs second half of one cycle: the
+        // sine peak (first half) must be denser than the trough.
+        let cycle = 4_000_000u64;
+        let mut first_half = 0;
+        let mut second_half = 0;
+        for r in &t {
+            let ph = r.time.as_micros() % cycle;
+            if ph < cycle / 2 {
+                first_half += 1;
+            } else {
+                second_half += 1;
+            }
+        }
+        assert!(
+            first_half > second_half * 2,
+            "diurnal had no effect: {first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn deletes_have_no_value_or_penalty() {
+        let mut cfg = base_cfg();
+        cfg.mix = OpMix { get: 0.0, set: 0.0, delete: 1.0, replace: 0.0 };
+        let t = cfg.generate(100);
+        for r in &t {
+            assert_eq!(r.op, Op::Delete);
+            assert_eq!(r.value_size, 0);
+            assert_eq!(r.penalty_us, 0);
+        }
+    }
+
+    #[test]
+    fn gets_carry_ground_truth_penalty() {
+        let mut cfg = base_cfg();
+        cfg.mix = OpMix::GET_ONLY;
+        let t = cfg.generate(100);
+        for r in &t {
+            assert_eq!(r.penalty(), Some(SimDuration::from_millis(50)));
+        }
+    }
+}

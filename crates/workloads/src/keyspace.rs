@@ -1,0 +1,283 @@
+//! The key space: ranks, stable per-key attributes, and churn.
+//!
+//! The generator samples a popularity **rank** (Zipf) per request; the
+//! key space maps ranks to key identifiers and gives every key stable
+//! attributes (key size, value size, miss penalty) *without storing
+//! per-key state*: attributes are pure functions of the key id through
+//! seeded hashes feeding inverse-CDF samplers.
+//!
+//! Two structural features mirror the production workloads:
+//!
+//! * **Bands** — each key belongs to one of several attribute bands
+//!   (weighted by hash, independent of popularity), letting presets mix
+//!   e.g. "many tiny values" with a "generalized-Pareto mid tail" and a
+//!   "rare huge objects" population, which is what spreads requests
+//!   across slab classes the way the paper's Fig. 3 shows.
+//! * **Churn** — a rank's key can be retired (generation bump): the new
+//!   generation is a brand-new key id (cold, fresh attributes) and the
+//!   old one is never requested again. Churn drives compulsory-miss
+//!   rates (APP's ~40%) and the gradual drift the allocators must track.
+
+use crate::dist::{KeySizeModel, PenaltyModel, SizeModel};
+use pama_util::hash::{hash_u64, mix13};
+use pama_util::{FastMap, Rng, SimDuration};
+use serde::{Deserialize, Serialize};
+
+const SEED_BAND: u64 = 0x5eed_0000_0000_0001;
+const SEED_VSIZE: u64 = 0x5eed_0000_0000_0002;
+const SEED_KSIZE: u64 = 0x5eed_0000_0000_0003;
+const SEED_PENALTY: u64 = 0x5eed_0000_0000_0004;
+
+/// One attribute band: a weighted sub-population of keys sharing size
+/// and penalty distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Band {
+    /// Relative weight (need not sum to 1 across bands).
+    pub weight: f64,
+    /// Value-size distribution for keys in this band.
+    pub value_size: SizeModel,
+    /// Miss-penalty distribution for keys in this band.
+    pub penalty: PenaltyModel,
+}
+
+/// Stable attributes of one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyAttrs {
+    /// The key identifier.
+    pub key: u64,
+    /// Key length in bytes.
+    pub key_size: u32,
+    /// Value length in bytes.
+    pub value_size: u32,
+    /// Ground-truth miss penalty.
+    pub penalty: SimDuration,
+    /// Index of the band the key belongs to.
+    pub band: usize,
+}
+
+/// Rank → key mapping with bands and churn.
+#[derive(Debug, Clone)]
+pub struct KeySpace {
+    n_ranks: u64,
+    seed: u64,
+    key_size: KeySizeModel,
+    bands: Vec<Band>,
+    weight_total: f64,
+    /// Sparse generation counters; absent rank means generation 0.
+    generations: FastMap<u64, u32>,
+    churn_events: u64,
+}
+
+impl KeySpace {
+    /// Creates a key space of `n_ranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n_ranks == 0`, `bands` is empty, or total weight is
+    /// not positive.
+    pub fn new(n_ranks: u64, seed: u64, key_size: KeySizeModel, bands: Vec<Band>) -> Self {
+        assert!(n_ranks > 0, "empty key space");
+        assert!(!bands.is_empty(), "need at least one band");
+        let weight_total: f64 = bands.iter().map(|b| b.weight).sum();
+        assert!(weight_total > 0.0, "total band weight must be positive");
+        Self {
+            n_ranks,
+            seed,
+            key_size,
+            bands,
+            weight_total,
+            generations: FastMap::default(),
+            churn_events: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> u64 {
+        self.n_ranks
+    }
+
+    /// Current generation of a rank.
+    pub fn generation(&self, rank: u64) -> u32 {
+        self.generations.get(&rank).copied().unwrap_or(0)
+    }
+
+    /// Key id currently bound to `rank`.
+    #[inline]
+    pub fn key_of(&self, rank: u64) -> u64 {
+        debug_assert!(rank < self.n_ranks);
+        let gen = u64::from(self.generation(rank));
+        mix13(rank ^ mix13(self.seed ^ (gen << 1 | 1)))
+    }
+
+    /// Full attributes of the key currently bound to `rank`.
+    pub fn attrs_of_rank(&self, rank: u64) -> KeyAttrs {
+        self.attrs_of_key(self.key_of(rank))
+    }
+
+    /// Attributes of a key id (stable: same key, same answer).
+    pub fn attrs_of_key(&self, key: u64) -> KeyAttrs {
+        let band = self.band_of(key);
+        let b = &self.bands[band];
+        let u_v = to_unit(hash_u64(key, SEED_VSIZE ^ self.seed));
+        let u_k = to_unit(hash_u64(key, SEED_KSIZE ^ self.seed));
+        let u_p = to_unit(hash_u64(key, SEED_PENALTY ^ self.seed));
+        let value_size = b.value_size.sample_u(u_v);
+        let key_size = self.key_size.sample_u(u_k);
+        let penalty = b.penalty.sample_u(u_p, value_size);
+        KeyAttrs { key, key_size, value_size, penalty, band }
+    }
+
+    /// Band index of a key id (weighted hash pick, independent of
+    /// popularity rank).
+    pub fn band_of(&self, key: u64) -> usize {
+        let u = to_unit(hash_u64(key, SEED_BAND ^ self.seed));
+        let mut target = u * self.weight_total;
+        for (i, b) in self.bands.iter().enumerate() {
+            if target < b.weight {
+                return i;
+            }
+            target -= b.weight;
+        }
+        self.bands.len() - 1
+    }
+
+    /// Retires the key of a uniformly random rank: the rank's next
+    /// access goes to a brand-new key. Returns the churned rank.
+    pub fn churn_random(&mut self, rng: &mut impl Rng) -> u64 {
+        let rank = rng.gen_range(self.n_ranks);
+        self.churn_rank(rank);
+        rank
+    }
+
+    /// Retires the key of a specific rank.
+    pub fn churn_rank(&mut self, rank: u64) {
+        *self.generations.entry(rank).or_insert(0) += 1;
+        self.churn_events += 1;
+    }
+
+    /// Total churn events so far.
+    pub fn churn_events(&self) -> u64 {
+        self.churn_events
+    }
+
+    /// The band definitions.
+    pub fn bands(&self) -> &[Band] {
+        &self.bands
+    }
+}
+
+#[inline]
+fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::SplitMix64;
+
+    fn simple_space() -> KeySpace {
+        KeySpace::new(
+            1000,
+            7,
+            KeySizeModel::Uniform { lo: 16, hi: 40 },
+            vec![
+                Band {
+                    weight: 3.0,
+                    value_size: SizeModel::Uniform { lo: 2, hi: 48 },
+                    penalty: PenaltyModel::Fixed(SimDuration::from_millis(5)),
+                },
+                Band {
+                    weight: 1.0,
+                    value_size: SizeModel::Uniform { lo: 1000, hi: 2000 },
+                    penalty: PenaltyModel::Fixed(SimDuration::from_millis(500)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn keys_are_stable_and_rank_distinct() {
+        let ks = simple_space();
+        assert_eq!(ks.key_of(5), ks.key_of(5));
+        let keys: std::collections::HashSet<u64> = (0..1000).map(|r| ks.key_of(r)).collect();
+        assert_eq!(keys.len(), 1000, "rank→key collisions");
+    }
+
+    #[test]
+    fn attrs_are_stable_functions_of_key() {
+        let ks = simple_space();
+        let a1 = ks.attrs_of_rank(17);
+        let a2 = ks.attrs_of_rank(17);
+        assert_eq!(a1, a2);
+        assert!((16..=40).contains(&a1.key_size));
+        match a1.band {
+            0 => {
+                assert!((2..=48).contains(&a1.value_size));
+                assert_eq!(a1.penalty, SimDuration::from_millis(5));
+            }
+            1 => {
+                assert!((1000..=2000).contains(&a1.value_size));
+                assert_eq!(a1.penalty, SimDuration::from_millis(500));
+            }
+            b => panic!("bad band {b}"),
+        }
+    }
+
+    #[test]
+    fn band_weights_are_respected() {
+        let ks = simple_space();
+        let n = 20_000u64;
+        let band0 = (0..n).filter(|&r| ks.band_of(mix13(r)) == 0).count();
+        let frac = band0 as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "band0 fraction {frac}");
+    }
+
+    #[test]
+    fn churn_changes_key_and_attrs() {
+        let mut ks = simple_space();
+        let before = ks.key_of(3);
+        let attrs_before = ks.attrs_of_rank(3);
+        ks.churn_rank(3);
+        let after = ks.key_of(3);
+        assert_ne!(before, after, "churn must retire the key");
+        assert_eq!(ks.generation(3), 1);
+        assert_eq!(ks.churn_events(), 1);
+        // New generation usually differs in attributes too (not
+        // guaranteed bitwise, but sizes come from a fresh hash).
+        let attrs_after = ks.attrs_of_rank(3);
+        assert_eq!(attrs_after.key, after);
+        assert_ne!(attrs_before.key, attrs_after.key);
+        // other ranks untouched
+        assert_eq!(ks.generation(4), 0);
+    }
+
+    #[test]
+    fn churn_random_is_in_range() {
+        let mut ks = simple_space();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let r = ks.churn_random(&mut rng);
+            assert!(r < 1000);
+        }
+        assert_eq!(ks.churn_events(), 100);
+    }
+
+    #[test]
+    fn seeds_shift_everything() {
+        let a = simple_space();
+        let b = KeySpace::new(1000, 8, KeySizeModel::Fixed(16), a.bands().to_vec());
+        assert_ne!(a.key_of(0), b.key_of(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_ranks_rejected() {
+        let _ = KeySpace::new(0, 1, KeySizeModel::Fixed(16), simple_space().bands().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn no_bands_rejected() {
+        let _ = KeySpace::new(10, 1, KeySizeModel::Fixed(16), vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pama-workloads
+//!
+//! Synthetic Memcached-like workload generators standing in for the
+//! Facebook production traces the paper evaluates on (ETC, APP, and the
+//! three it describes but excludes: USR, SYS, VAR). The traces
+//! themselves are not publicly available; these generators reproduce
+//! the *published statistics* of those workloads — Zipf-like key
+//! popularity, generalized-Pareto value sizes, op mixes, diurnal load
+//! swings, key churn, and the broad (1 ms … 5 s) heavy-tailed miss
+//! penalty spectrum of the paper's Fig. 1 — so the allocation schemes
+//! face the same joint (locality × size × penalty) structure.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`dist`] | size & penalty distributions (GPD, lognormal, mixtures) |
+//! | [`zipf`] | exact table sampler and O(1) approximate Zipf sampler |
+//! | [`keyspace`] | rank→key mapping, per-key stable attributes, churn |
+//! | [`generator`] | the request generator: op mix, arrivals, diurnal load |
+//! | [`presets`] | ETC / APP / USR / SYS / VAR -like configurations |
+//! | [`burst`] | the §IV-C cold-burst injector |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod burst;
+pub mod dist;
+pub mod generator;
+pub mod keyspace;
+pub mod presets;
+pub mod zipf;
+
+pub use generator::{Workload, WorkloadConfig};
+pub use keyspace::KeySpace;
+pub use presets::Preset;

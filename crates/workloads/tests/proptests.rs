@@ -1,0 +1,190 @@
+//! Property-based tests for the workload generators: samplers stay in
+//! range, key attributes are stable, generated traces obey their
+//! configuration for arbitrary parameters.
+
+use pama_trace::stats::TraceSummary;
+use pama_util::{Rng, SimDuration, Xoshiro256StarStar};
+use pama_workloads::dist::{KeySizeModel, PenaltyModel, SizeModel};
+use pama_workloads::generator::{OpMix, WorkloadConfig};
+use pama_workloads::keyspace::{Band, KeySpace};
+use pama_workloads::zipf::{ZipfApprox, ZipfTable};
+use proptest::prelude::*;
+
+fn arb_size_model() -> impl Strategy<Value = SizeModel> {
+    prop_oneof![
+        (1u32..100_000).prop_map(SizeModel::Fixed),
+        (1u32..1000, 0u32..100_000)
+            .prop_map(|(lo, span)| SizeModel::Uniform { lo, hi: lo + span }),
+        (1f64..500.0, 0.01f64..1.5).prop_map(|(scale, shape)| {
+            SizeModel::GeneralizedPareto { location: 0.0, scale, shape, cap: 1 << 20 }
+        }),
+        (0f64..12.0, 0.05f64..2.5)
+            .prop_map(|(mu, sigma)| SizeModel::LogNormal { mu, sigma, cap: 1 << 20 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn size_models_stay_positive_and_capped(model in arb_size_model(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..200 {
+            let s = model.sample(&mut rng);
+            prop_assert!(s >= 1);
+            match &model {
+                SizeModel::GeneralizedPareto { cap, .. } | SizeModel::LogNormal { cap, .. } => {
+                    prop_assert!(s <= *cap);
+                }
+                SizeModel::Uniform { lo, hi } => prop_assert!((lo..=hi).contains(&&s)),
+                SizeModel::Fixed(v) => prop_assert_eq!(s, *v),
+                SizeModel::DiscreteModes(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn size_sample_u_is_monotone(model in arb_size_model()) {
+        // Inverse-CDF sampling must be (weakly) monotone in u.
+        let mut prev = 0u32;
+        for i in 0..100 {
+            let u = i as f64 / 100.0;
+            let s = model.sample_u(u);
+            prop_assert!(s >= prev, "non-monotone at u={u}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn penalty_models_respect_clamps(
+        median_ms in 1u64..5_000,
+        sigma in 0.0f64..3.0,
+        size in 1u32..1_000_000,
+        u in 0.0f64..1.0,
+    ) {
+        let m = PenaltyModel::LogNormal {
+            median: SimDuration::from_millis(median_ms),
+            sigma,
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_secs(5),
+        };
+        let p = m.sample_u(u, size);
+        prop_assert!(p >= SimDuration::from_millis(1));
+        prop_assert!(p <= SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn key_size_models_in_range(lo in 1u32..100, span in 0u32..100, u in 0.0f64..1.0) {
+        let m = KeySizeModel::Uniform { lo, hi: lo + span };
+        let s = m.sample_u(u);
+        prop_assert!((lo..=lo + span).contains(&s));
+    }
+
+    #[test]
+    fn zipf_table_and_approx_stay_in_range(
+        n in 1u64..5_000,
+        alpha in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let t = ZipfTable::new(n as usize, alpha);
+        let a = ZipfApprox::new(n, alpha);
+        let mut rng = Xoshiro256StarStar::from_seed(seed);
+        for _ in 0..100 {
+            let u = rng.next_f64();
+            prop_assert!(t.sample_u(u) < n);
+            prop_assert!(a.sample_u(u) < n);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_u_is_monotone(n in 2u64..1000, alpha in 0.0f64..1.4) {
+        let a = ZipfApprox::new(n, alpha);
+        let mut prev = 0;
+        for i in 0..=50 {
+            let r = a.sample_u(i as f64 / 50.0);
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn keyspace_attrs_are_pure(n_ranks in 1u64..10_000, seed in any::<u64>(), rank_frac in 0.0f64..1.0) {
+        let ks = KeySpace::new(
+            n_ranks,
+            seed,
+            KeySizeModel::Fixed(16),
+            vec![Band {
+                weight: 1.0,
+                value_size: SizeModel::Uniform { lo: 1, hi: 100 },
+                penalty: PenaltyModel::Fixed(SimDuration::from_millis(10)),
+            }],
+        );
+        let rank = ((n_ranks - 1) as f64 * rank_frac) as u64;
+        prop_assert_eq!(ks.attrs_of_rank(rank), ks.attrs_of_rank(rank));
+        prop_assert_eq!(ks.key_of(rank), ks.key_of(rank));
+    }
+
+    #[test]
+    fn generated_traces_match_mix(
+        seed in any::<u64>(),
+        get_w in 1u32..10,
+        set_w in 0u32..5,
+        del_w in 0u32..5,
+    ) {
+        let cfg = WorkloadConfig {
+            name: "prop".into(),
+            seed,
+            n_ranks: 500,
+            zipf_alpha: 0.9,
+            key_size: KeySizeModel::Fixed(16),
+            bands: vec![Band {
+                weight: 1.0,
+                value_size: SizeModel::Uniform { lo: 10, hi: 100 },
+                penalty: PenaltyModel::Fixed(SimDuration::from_millis(5)),
+            }],
+            mix: OpMix {
+                get: f64::from(get_w),
+                set: f64::from(set_w),
+                delete: f64::from(del_w),
+                replace: 0.0,
+            },
+            churn_per_request: 0.0,
+            mean_interarrival: SimDuration::from_micros(10),
+            diurnal: None,
+            hot_rotation: None,
+        };
+        let trace = cfg.generate(4_000);
+        prop_assert!(trace.is_sorted());
+        let s = TraceSummary::compute(&trace);
+        let total_w = f64::from(get_w + set_w + del_w);
+        let expect_get = f64::from(get_w) / total_w;
+        prop_assert!(
+            (s.get_fraction() - expect_get).abs() < 0.05,
+            "get fraction {} vs expected {}",
+            s.get_fraction(),
+            expect_get
+        );
+        // All keys within the rank population (plus churn = 0 → bounded).
+        prop_assert!(s.unique_keys <= 500);
+    }
+
+    #[test]
+    fn same_seed_same_trace_any_params(seed in any::<u64>(), alpha in 0.1f64..1.3) {
+        let mk = || WorkloadConfig {
+            name: "det".into(),
+            seed,
+            n_ranks: 200,
+            zipf_alpha: alpha,
+            key_size: KeySizeModel::Fixed(16),
+            bands: vec![Band {
+                weight: 1.0,
+                value_size: SizeModel::Fixed(64),
+                penalty: PenaltyModel::Fixed(SimDuration::from_millis(1)),
+            }],
+            mix: OpMix::GET_ONLY,
+            churn_per_request: 0.01,
+            mean_interarrival: SimDuration::from_micros(10),
+            diurnal: None,
+            hot_rotation: None,
+        };
+        prop_assert_eq!(mk().generate(500), mk().generate(500));
+    }
+}

@@ -1,0 +1,96 @@
+//! Cold-burst resilience demo (the paper's §IV-C study, Fig. 9).
+//!
+//! Injects a flood of never-again-referenced items — 25% of the cache,
+//! confined to three size classes — into a steady ETC-like run and
+//! prints how PSA and PAMA ride it out, window by window.
+//!
+//! ```text
+//! cargo run --release --example cold_burst
+//! ```
+
+use pama::core::config::{CacheConfig, EngineConfig};
+use pama::core::engine::Engine;
+use pama::core::metrics::RunResult;
+use pama::core::policy::{Pama, Policy, Psa};
+use pama::util::table::{fnum, sparkline, Table};
+use pama::util::SimDuration;
+use pama::workloads::burst::ColdBurst;
+use pama::workloads::dist::PenaltyModel;
+use pama::workloads::Preset;
+
+fn run(policy: Box<dyn Policy + Send>, with_burst: bool) -> RunResult {
+    let requests = 2_000_000;
+    let mut wl = Preset::Etc.config(150_000, 11);
+    wl.hot_rotation = None; // keep the burst the only disturbance
+    wl.diurnal = None;
+    let base = wl.generate(requests);
+    let trace = if with_burst {
+        let burst = ColdBurst {
+            total_bytes: (48u64 << 20) / 4,
+            item_lo: 600,
+            item_hi: 4600,
+            key_size: 24,
+            penalty: PenaltyModel::LogNormal {
+                median: SimDuration::from_millis(8),
+                sigma: 0.8,
+                lo: SimDuration::from_millis(1),
+                hi: SimDuration::from_secs(5),
+            },
+            seed: 99,
+            as_gets: true,
+        };
+        burst.inject(&base, requests / 10)
+    } else {
+        base
+    };
+    let ecfg = EngineConfig { window_gets: 50_000, snapshot_allocations: false };
+    Engine::run_to_result(policy, ecfg, "etc-like", trace)
+}
+
+fn main() {
+    let cache = CacheConfig {
+        total_bytes: 48 << 20,
+        slab_bytes: 256 << 10,
+        ..CacheConfig::default()
+    };
+
+    println!("running PSA and PAMA, each with and without the burst...\n");
+    let psa_ctl = run(Box::new(Psa::new(cache.clone())), false);
+    let psa_b = run(Box::new(Psa::new(cache.clone())), true);
+    let pama_ctl = run(Box::new(Pama::new(cache.clone())), false);
+    let pama_b = run(Box::new(Pama::new(cache)), true);
+
+    let mut table = Table::new(vec!["run", "hit%", "avg svc (ms)", "hit-ratio timeline"]);
+    for (name, r) in [
+        ("psa control", &psa_ctl),
+        ("psa + burst", &psa_b),
+        ("pama control", &pama_ctl),
+        ("pama + burst", &pama_b),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            fnum(r.hit_ratio() * 100.0, 2),
+            fnum(r.avg_service().as_secs_f64() * 1e3, 2),
+            sparkline(&r.hit_ratio_series()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let dip = |b: &RunResult, c: &RunResult| {
+        b.hit_ratio_series()
+            .iter()
+            .zip(c.hit_ratio_series())
+            .map(|(b, c)| (c - b).max(0.0))
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "\nworst single-window hit dip vs control: psa {:.2} pts, pama {:.2} pts",
+        dip(&psa_b, &psa_ctl) * 100.0,
+        dip(&pama_b, &pama_ctl) * 100.0
+    );
+    println!(
+        "service-time cost of the burst:          psa {:+.2} ms, pama {:+.2} ms",
+        (psa_b.avg_service().as_secs_f64() - psa_ctl.avg_service().as_secs_f64()) * 1e3,
+        (pama_b.avg_service().as_secs_f64() - pama_ctl.avg_service().as_secs_f64()) * 1e3,
+    );
+}

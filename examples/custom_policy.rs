@@ -1,0 +1,161 @@
+//! Writing your own allocation policy against the library's substrate.
+//!
+//! This example implements **SLFU-ish**: a deliberately simple policy
+//! that reallocates a slab every N misses from the class with the
+//! fewest window hits per slab to the class with the most window
+//! misses — a strawman between PSA and Twemcache — and races it
+//! against PAMA. The point is the API surface: [`BaseCache`] gives a
+//! custom policy exact slab/queue accounting, eviction, and migration
+//! primitives, and the [`Policy`] trait plugs it into the engine,
+//! metrics, and harness unchanged.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use pama::core::cache::{BaseCache, InsertOutcome};
+use pama::core::config::{CacheConfig, EngineConfig, Tick};
+use pama::core::engine::Engine;
+use pama::core::policy::{meta_for, GetOutcome, Pama, Policy};
+use pama::util::table::{fnum, Table};
+use pama::workloads::Preset;
+use pama_trace::Request;
+
+/// The custom policy: hits-per-slab vs misses, rebalanced every `N`
+/// misses.
+struct HitDensity {
+    cache: BaseCache,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    misses_since: u64,
+    period: u64,
+}
+
+impl HitDensity {
+    fn new(cfg: CacheConfig) -> Self {
+        let nc = cfg.num_classes();
+        Self {
+            cache: BaseCache::new(cfg, 1),
+            hits: vec![0; nc],
+            misses: vec![0; nc],
+            misses_since: 0,
+            period: 2000,
+        }
+    }
+
+    fn maybe_rebalance(&mut self) {
+        if self.misses_since < self.period {
+            return;
+        }
+        self.misses_since = 0;
+        let Some(dst) = (0..self.misses.len()).max_by_key(|&c| self.misses[c]) else {
+            return;
+        };
+        let src = (0..self.hits.len())
+            .filter(|&c| c != dst && self.cache.class(c).slabs > 1)
+            .min_by(|&a, &b| {
+                let da = self.hits[a] as f64 / self.cache.class(a).slabs as f64;
+                let db = self.hits[b] as f64 / self.cache.class(b).slabs as f64;
+                da.partial_cmp(&db).unwrap()
+            });
+        if let Some(src) = src {
+            self.cache.migrate_slab(src, 0, dst, |_| {});
+        }
+        self.hits.fill(0);
+        self.misses.fill(0);
+    }
+}
+
+impl Policy for HitDensity {
+    fn name(&self) -> String {
+        format!("hit-density(N={})", self.period)
+    }
+
+    fn on_get(&mut self, req: &Request, tick: Tick) -> GetOutcome {
+        let class = self.cache.cfg().class_of(req.key_size, req.value_size);
+        if self.cache.touch(req.key, tick.now).is_some() {
+            if let Some(c) = class {
+                self.hits[c] += 1;
+            }
+            return GetOutcome::HIT;
+        }
+        if let Some(c) = class {
+            self.misses[c] += 1;
+            self.misses_since += 1;
+            self.maybe_rebalance();
+        }
+        let mut filled = false;
+        if self.cache.cfg().demand_fill {
+            if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
+                let c = meta.class as usize;
+                filled = match self.cache.insert(meta) {
+                    InsertOutcome::NoSpace => {
+                        self.cache.evict_tail(c, 0).is_some()
+                            && !matches!(self.cache.insert(meta), InsertOutcome::NoSpace)
+                    }
+                    _ => true,
+                };
+            }
+        }
+        GetOutcome { hit: false, filled }
+    }
+
+    fn on_set(&mut self, req: &Request, tick: Tick) {
+        if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
+            if self.cache.peek(meta.key).map(|m| m.class) == Some(meta.class) {
+                self.cache.update_in_place(meta);
+                return;
+            }
+            self.cache.remove(meta.key);
+            let c = meta.class as usize;
+            if matches!(self.cache.insert(meta), InsertOutcome::NoSpace)
+                && self.cache.evict_tail(c, 0).is_some()
+            {
+                let _ = self.cache.insert(meta);
+            }
+        }
+    }
+
+    fn on_delete(&mut self, req: &Request, _tick: Tick) {
+        self.cache.remove(req.key);
+    }
+
+    fn cache(&self) -> &BaseCache {
+        &self.cache
+    }
+}
+
+fn main() {
+    let cache = CacheConfig {
+        total_bytes: 32 << 20,
+        slab_bytes: 256 << 10,
+        ..CacheConfig::default()
+    };
+    let workload = Preset::Etc.config(120_000, 5);
+    let ecfg = EngineConfig { window_gets: 100_000, snapshot_allocations: false };
+    let requests = 1_200_000;
+
+    let custom = Engine::run_to_result(
+        HitDensity::new(cache.clone()),
+        ecfg.clone(),
+        workload.name.clone(),
+        workload.build().take(requests),
+    );
+    let pama = Engine::run_to_result(
+        Pama::new(cache),
+        ecfg,
+        workload.name.clone(),
+        workload.build().take(requests),
+    );
+
+    let mut t = Table::new(vec!["scheme", "hit%", "avg svc (ms)"]);
+    for r in [&custom, &pama] {
+        t.row(vec![
+            r.policy.clone(),
+            fnum(r.hit_ratio() * 100.0, 2),
+            fnum(r.avg_service().as_secs_f64() * 1e3, 2),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nSame engine, same metrics, ~100 lines for a brand-new policy.");
+}

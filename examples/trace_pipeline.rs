@@ -1,0 +1,111 @@
+//! Trace tooling tour: generate a workload, write/read both trace
+//! formats, run the paper's miss-penalty estimator, and summarise —
+//! the full `pama-trace` substrate in one pass.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline [out_dir]
+//! ```
+
+use pama::trace::codec;
+use pama::trace::stats::{estimate_zipf_alpha, popularity_profile};
+use pama::trace::{Op, PenaltyEstimator, Request, Trace, TraceSummary};
+use pama::util::FastSet;
+use pama::workloads::Preset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out: PathBuf =
+        std::env::args().nth(1).unwrap_or_else(|| "results".into()).into();
+    std::fs::create_dir_all(&out)?;
+
+    // 1. Generate an APP-like trace.
+    let workload = Preset::App.config(80_000, 3);
+    let trace = workload.generate(300_000);
+    println!("generated {} requests of {}", trace.len(), workload.name);
+
+    // 2. Summarise it.
+    let s = TraceSummary::compute(&trace);
+    println!(
+        "  GETs {:.1}%  unique keys {}  mean item {:.0} B  cold GETs {:.1}%",
+        s.get_fraction() * 100.0,
+        s.unique_keys,
+        s.mean_item_bytes(),
+        s.cold_get_fraction() * 100.0
+    );
+    let profile = popularity_profile(&trace);
+    if let Some(alpha) = estimate_zipf_alpha(&profile, 200) {
+        println!("  estimated Zipf exponent over the head: {alpha:.2}");
+    }
+
+    // 3. Round-trip through both on-disk formats.
+    let bin_path = out.join("app_sample.trace");
+    codec::write_binary(&trace, &mut BufWriter::new(File::create(&bin_path)?))?;
+    let back = codec::read_binary(&mut BufReader::new(File::open(&bin_path)?))?;
+    assert_eq!(trace, back);
+    let bin_bytes = std::fs::metadata(&bin_path)?.len();
+
+    let jsonl_path = out.join("app_sample.jsonl");
+    codec::write_jsonl(&trace, &mut BufWriter::new(File::create(&jsonl_path)?))?;
+    let back2 = codec::read_jsonl(&mut BufReader::new(File::open(&jsonl_path)?))?;
+    assert_eq!(trace, back2);
+    let jsonl_bytes = std::fs::metadata(&jsonl_path)?.len();
+    println!(
+        "  codecs agree; binary {:.1} MiB vs jsonl {:.1} MiB ({}x)",
+        bin_bytes as f64 / (1 << 20) as f64,
+        jsonl_bytes as f64 / (1 << 20) as f64,
+        jsonl_bytes / bin_bytes.max(1)
+    );
+
+    // 4. The paper's penalty estimation: strip the ground-truth
+    //    penalties, synthesise the miss→SET pairs a production trace
+    //    would contain, and infer penalties from the gaps.
+    let mut seen: FastSet<u64> = FastSet::default();
+    let mut refills: Vec<Request> = Vec::new();
+    for r in &trace {
+        if r.op == Op::Get && seen.insert(r.key) {
+            if let Some(p) = r.penalty() {
+                let mut set = Request::set(r.time + p, r.key, r.key_size, r.value_size);
+                set.penalty_us = 0;
+                refills.push(set);
+            }
+        }
+    }
+    refills.sort_by_key(|r| r.time);
+    let mut stripped = trace.clone();
+    for r in &mut stripped.requests {
+        r.penalty_us = 0;
+    }
+    let client_view =
+        pama::trace::transform::merge(&stripped, &Trace::from_requests(refills));
+
+    let mut est = PenaltyEstimator::new();
+    est.observe_trace(&client_view);
+    println!(
+        "  estimator: {} samples accepted, {} over the 5 s cap, {} cancelled",
+        est.accepted(),
+        est.discarded_over_cap(),
+        est.cancelled()
+    );
+    let map = est.finish();
+
+    // 5. Compare inferred penalties against ground truth.
+    let mut checked = 0u64;
+    let mut exact = 0u64;
+    let mut seen2: FastSet<u64> = FastSet::default();
+    for r in &trace {
+        if r.op == Op::Get && seen2.insert(r.key) && map.has_estimate(r.key) {
+            checked += 1;
+            if Some(map.penalty(r.key)) == r.penalty() {
+                exact += 1;
+            }
+        }
+    }
+    println!(
+        "  ground truth recovered exactly for {exact}/{checked} estimated keys \
+         ({:.1}%)",
+        exact as f64 / checked.max(1) as f64 * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! # pama — Penalty-Aware Memory Allocation for key-value caches
+//!
+//! Facade crate re-exporting the whole PAMA reproduction workspace. See
+//! the README for a tour and `DESIGN.md` for the paper-to-module map.
+
+pub use pama_bloom as bloom;
+pub use pama_core as core;
+pub use pama_kv as kv;
+pub use pama_trace as trace;
+pub use pama_util as util;
+pub use pama_workloads as workloads;

@@ -1,0 +1,158 @@
+//! Cross-crate integration: workloads → engine → metrics, for every
+//! policy, with determinism and invariant checks.
+
+use pama::core::config::{CacheConfig, EngineConfig};
+use pama::core::engine::Engine;
+use pama::core::policy::{
+    FacebookAge, GlobalLru, LamaLite, MemcachedOriginal, Pama, PamaConfig, Policy, Psa,
+    Twemcache,
+};
+use pama::core::metrics::RunResult;
+use pama::workloads::Preset;
+
+fn small_cache() -> CacheConfig {
+    CacheConfig {
+        total_bytes: 4 << 20,
+        slab_bytes: 64 << 10,
+        ..CacheConfig::default()
+    }
+}
+
+fn all_policies(cache: &CacheConfig) -> Vec<Box<dyn Policy + Send>> {
+    vec![
+        Box::new(MemcachedOriginal::new(cache.clone())),
+        Box::new(Psa::new(cache.clone())),
+        Box::new(Psa::unguarded(cache.clone(), 500)),
+        Box::new(Pama::pre_pama(cache.clone())),
+        Box::new(Pama::new(cache.clone())),
+        Box::new(Pama::with_config(
+            cache.clone(),
+            PamaConfig {
+                membership: pama::core::segments::MembershipMode::Bloom { fpp: 0.01 },
+                ..PamaConfig::default()
+            },
+        )),
+        Box::new(FacebookAge::new(cache.clone())),
+        Box::new(Twemcache::new(cache.clone())),
+        Box::new(LamaLite::new(cache.clone())),
+        Box::new(GlobalLru::new(cache.clone())),
+    ]
+}
+
+fn run(policy: Box<dyn Policy + Send>, preset: Preset, n: usize, seed: u64) -> RunResult {
+    let wl = preset.config(20_000, seed);
+    let ecfg = EngineConfig { window_gets: 20_000, snapshot_allocations: true };
+    Engine::run_to_result(policy, ecfg, wl.name.clone(), wl.build().take(n))
+}
+
+#[test]
+fn every_policy_survives_every_preset() {
+    let cache = small_cache();
+    for preset in Preset::all() {
+        for policy in all_policies(&cache) {
+            let name = policy.name();
+            let r = run(policy, preset, 60_000, 1);
+            assert_eq!(r.total_requests, 60_000, "{name} on {preset:?}");
+            assert!(r.total_gets > 0, "{name} on {preset:?} saw no GETs");
+            assert!(
+                r.hit_ratio() > 0.0 && r.hit_ratio() < 1.0,
+                "{name} on {preset:?}: degenerate hit ratio {}",
+                r.hit_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cache = small_cache();
+    for mk in [
+        || -> Box<dyn Policy + Send> { Box::new(Pama::new(small_cache())) },
+        || -> Box<dyn Policy + Send> { Box::new(Psa::new(small_cache())) },
+        || -> Box<dyn Policy + Send> { Box::new(Twemcache::new(small_cache())) },
+        || -> Box<dyn Policy + Send> { Box::new(LamaLite::new(small_cache())) },
+    ] {
+        let a = run(mk(), Preset::Etc, 120_000, 9);
+        let b = run(mk(), Preset::Etc, 120_000, 9);
+        assert_eq!(a, b, "nondeterministic run for {}", a.policy);
+    }
+    let _ = cache;
+}
+
+#[test]
+fn cache_invariants_hold_after_long_runs() {
+    let cache = small_cache();
+    for policy in all_policies(&cache) {
+        let name = policy.name();
+        let wl = Preset::App.config(30_000, 3);
+        let ecfg = EngineConfig { window_gets: 50_000, snapshot_allocations: false };
+        let mut engine = Engine::new(policy, ecfg).with_workload_label("app");
+        engine.run(wl.build().take(150_000));
+        engine
+            .policy()
+            .cache()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_results() {
+    let a = run(Box::new(Pama::new(small_cache())), Preset::Etc, 100_000, 1);
+    let b = run(Box::new(Pama::new(small_cache())), Preset::Etc, 100_000, 2);
+    assert_ne!(a.total_hits, b.total_hits);
+}
+
+#[test]
+fn run_results_serde_roundtrip() {
+    let r = run(Box::new(Pama::new(small_cache())), Preset::Etc, 60_000, 5);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(r, back);
+}
+
+#[test]
+fn demand_fill_off_still_serves_sets() {
+    let mut cache = small_cache();
+    cache.demand_fill = false;
+    let wl = Preset::Var.config(5_000, 4); // SET-heavy
+    let ecfg = EngineConfig::default();
+    let r = Engine::run_to_result(
+        Pama::new(cache),
+        ecfg,
+        "var",
+        wl.build().take(80_000),
+    );
+    // Without demand fill, hits only come from SET-installed items;
+    // VAR is SET-dominated so there must be plenty.
+    assert!(r.hit_ratio() > 0.1, "hit ratio {}", r.hit_ratio());
+}
+
+#[test]
+fn larger_cache_never_hurts_pama_much() {
+    let mut sizes = vec![];
+    for mb in [2u64, 4, 8] {
+        let cache = CacheConfig {
+            total_bytes: mb << 20,
+            slab_bytes: 64 << 10,
+            ..CacheConfig::default()
+        };
+        let r = run(Box::new(Pama::new(cache)), Preset::Etc, 150_000, 6);
+        sizes.push(r.hit_ratio());
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[1] >= w[0] - 0.02),
+        "hit ratio not monotone-ish in cache size: {sizes:?}"
+    );
+}
+
+#[test]
+fn windows_partition_the_gets() {
+    let r = run(Box::new(MemcachedOriginal::new(small_cache())), Preset::Etc, 90_000, 7);
+    let sum: u64 = r.windows.iter().map(|w| w.gets).sum();
+    assert_eq!(sum, r.total_gets);
+    let hits: u64 = r.windows.iter().map(|w| w.hits).sum();
+    assert_eq!(hits, r.total_hits);
+    let svc: u64 = r.windows.iter().map(|w| w.service_us_sum).sum();
+    assert_eq!(svc, r.total_service_us);
+}
