@@ -16,6 +16,8 @@
 //!   extended  all §II schemes + references
 //!   presets   USR/SYS/VAR: verify the paper's workload-selection rationale
 //!   ablation  bloom-vs-exact membership, PSA M, value window
+//!   chaos  fault injection: penalty-band shift re-convergence,
+//!          corrupted inputs, backend brownout
 //!   smoke  fast end-to-end sanity run
 //!   all    every figure experiment in sequence
 //! ```
@@ -28,7 +30,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|smoke|all> \
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|smoke|all> \
          [--out DIR] [--threads N] [--scale X] [--seed S]"
     );
     std::process::exit(2);
@@ -80,6 +82,7 @@ fn main() -> ExitCode {
             "extended" => experiments::extended::run(&opts),
             "presets" => experiments::presets::run(&opts),
             "ablation" => experiments::ablation::run(&opts),
+            "chaos" => experiments::chaos::run(&opts),
             "smoke" => experiments::smoke::run(&opts),
             _ => usage(),
         };

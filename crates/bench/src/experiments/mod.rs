@@ -11,6 +11,7 @@
 //! | `fig10` | sensitivity to `m` | [`sensitivity`] |
 //! | `extended` | §II schemes + references (extension) | [`extended`] |
 //! | `ablation` | Bloom vs exact membership, PSA `M`, value window | [`ablation`] |
+//! | `chaos` | fault injection & graceful degradation (extension) | [`chaos`] |
 //! | `presets` | USR/SYS/VAR: the paper's workload-selection rationale | [`presets`] |
 //! | `smoke` | 30-second end-to-end sanity run | [`smoke`] |
 
@@ -18,6 +19,7 @@ pub mod ablation;
 pub mod alloc;
 pub mod app;
 pub mod burst;
+pub mod chaos;
 pub mod etc;
 pub mod extended;
 pub mod fig1;

@@ -18,10 +18,9 @@ use pama_core::segments::MembershipMode;
 use pama_core::sweep::{run_jobs, Job};
 use pama_trace::Request;
 use pama_workloads::{Preset, WorkloadConfig};
-use serde::{Deserialize, Serialize};
 
 /// The allocation schemes the harness can instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Original Memcached (no reallocation).
     Memcached,

@@ -2,6 +2,7 @@
 //! JSON archives under a results directory.
 
 use pama_core::metrics::RunResult;
+use pama_util::json::Json;
 use pama_util::table::{downsample, fnum, sparkline, Table};
 use std::fs;
 use std::io::Write as _;
@@ -27,7 +28,7 @@ pub fn write_file(dir: &Path, name: &str, contents: &str) {
 
 /// Serialises full run results as JSON for downstream tooling.
 pub fn write_results_json(dir: &Path, name: &str, results: &[RunResult]) {
-    let json = serde_json::to_string_pretty(results).expect("serialize results");
+    let json = Json::Arr(results.iter().map(RunResult::to_json).collect()).to_string_pretty();
     write_file(dir, name, &json);
 }
 

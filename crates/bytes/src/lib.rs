@@ -1,0 +1,205 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of the `bytes` API it actually uses:
+//!
+//! * [`Bytes`] — an immutable, cheaply-clonable byte buffer
+//!   (`Arc<[u8]>` under the hood);
+//! * [`Buf`] — cursor-style little-endian reads over `&[u8]`;
+//! * [`BufMut`] — little-endian appends onto `Vec<u8>`.
+//!
+//! Semantics match the real crate for this subset: `get_*` methods
+//! panic when the buffer holds too few bytes (callers bounds-check via
+//! [`Buf::remaining`] first), and `Bytes` clones share storage.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer with cheap clones.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Cursor-style reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes. Panics when fewer remain.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`. Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`. Panics when fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+    /// Fills `dst` from the front of the buffer. Panics when short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self[..4]);
+        *self = &self[4..];
+        u32::from_le_bytes(a)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self[..8]);
+        *self = &self[8..];
+        u64::from_le_bytes(a)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Append-style writes onto a byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_share_and_compare() {
+        let a = Bytes::copy_from_slice(b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(&a[..], b"hello");
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1, 2]).as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    fn le_roundtrip_through_vec_and_slice() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(u64::MAX - 1);
+        v.put_slice(b"xy");
+        let mut r = &v[..];
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        let mut tail = [0u8; 2];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let v = [1u8, 2, 3, 4];
+        let mut r = &v[..];
+        r.advance(3);
+        assert_eq!(r.get_u8(), 4);
+    }
+}

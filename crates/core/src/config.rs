@@ -15,7 +15,6 @@
 //!   GET requests)"), not wall clock.
 
 use pama_util::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The paper's five penalty-band upper bounds.
 pub fn default_penalty_bands() -> Vec<SimDuration> {
@@ -28,8 +27,82 @@ pub fn default_penalty_bands() -> Vec<SimDuration> {
     ]
 }
 
+/// Why a [`CacheConfig`] (or a policy config layered on it) was
+/// rejected. Typed so callers like `pamactl` and the kv builder can
+/// report the problem instead of panicking deep inside the allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `slab_bytes` must be a power of two.
+    SlabBytesNotPowerOfTwo(u64),
+    /// `min_slot` must be nonzero.
+    MinSlotZero,
+    /// `min_slot` must be a power of two.
+    MinSlotNotPowerOfTwo(u64),
+    /// `min_slot` cannot exceed `slab_bytes`.
+    MinSlotExceedsSlab {
+        /// Offending class-0 slot size.
+        min_slot: u64,
+        /// Configured slab size.
+        slab_bytes: u64,
+    },
+    /// The cache must hold at least one slab.
+    TotalSmallerThanSlab {
+        /// Configured cache size.
+        total_bytes: u64,
+        /// Configured slab size.
+        slab_bytes: u64,
+    },
+    /// At least one penalty band is required.
+    NoPenaltyBands,
+    /// Penalty-band upper bounds must be strictly ascending.
+    BandsNotAscending {
+        /// Index of the first bound that is ≤ its predecessor.
+        index: usize,
+    },
+    /// PAMA's value window (GETs per window) must be nonzero.
+    ZeroValueWindow,
+    /// A Bloom-filter false-positive rate must lie in (0, 1).
+    BadBloomFpp(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::SlabBytesNotPowerOfTwo(b) => {
+                write!(f, "slab_bytes {b} is not a power of two")
+            }
+            ConfigError::MinSlotZero => write!(f, "min_slot must be nonzero"),
+            ConfigError::MinSlotNotPowerOfTwo(b) => {
+                write!(f, "min_slot {b} is not a power of two")
+            }
+            ConfigError::MinSlotExceedsSlab { min_slot, slab_bytes } => {
+                write!(f, "min_slot {min_slot} exceeds slab_bytes {slab_bytes}")
+            }
+            ConfigError::TotalSmallerThanSlab { total_bytes, slab_bytes } => write!(
+                f,
+                "cache of {total_bytes} bytes is smaller than one {slab_bytes}-byte slab"
+            ),
+            ConfigError::NoPenaltyBands => write!(f, "need at least one penalty band"),
+            ConfigError::BandsNotAscending { index } => write!(
+                f,
+                "penalty bands must be strictly ascending (bound {index} \
+                 is not above bound {})",
+                index - 1
+            ),
+            ConfigError::ZeroValueWindow => {
+                write!(f, "pama value_window must be nonzero")
+            }
+            ConfigError::BadBloomFpp(fpp) => {
+                write!(f, "bloom fpp {fpp} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Geometry and behaviour of the simulated cache.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Total cache memory in bytes.
     pub total_bytes: u64,
@@ -76,26 +149,36 @@ impl CacheConfig {
         Self { total_bytes, ..Self::default() }
     }
 
-    /// Validates the geometry, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the geometry, returning the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.slab_bytes.is_power_of_two() {
-            return Err(format!("slab_bytes {} is not a power of two", self.slab_bytes));
+            return Err(ConfigError::SlabBytesNotPowerOfTwo(self.slab_bytes));
+        }
+        if self.min_slot == 0 {
+            return Err(ConfigError::MinSlotZero);
         }
         if !self.min_slot.is_power_of_two() {
-            return Err(format!("min_slot {} is not a power of two", self.min_slot));
+            return Err(ConfigError::MinSlotNotPowerOfTwo(self.min_slot));
         }
         if self.min_slot > self.slab_bytes {
-            return Err("min_slot exceeds slab_bytes".into());
+            return Err(ConfigError::MinSlotExceedsSlab {
+                min_slot: self.min_slot,
+                slab_bytes: self.slab_bytes,
+            });
         }
         if self.total_bytes < self.slab_bytes {
-            return Err("cache smaller than one slab".into());
+            return Err(ConfigError::TotalSmallerThanSlab {
+                total_bytes: self.total_bytes,
+                slab_bytes: self.slab_bytes,
+            });
         }
         if self.penalty_bands.is_empty() {
-            return Err("need at least one penalty band".into());
+            return Err(ConfigError::NoPenaltyBands);
         }
-        if self.penalty_bands.windows(2).any(|w| w[0] >= w[1]) {
-            return Err("penalty bands must be strictly ascending".into());
+        if let Some(i) = (1..self.penalty_bands.len())
+            .find(|&i| self.penalty_bands[i - 1] >= self.penalty_bands[i])
+        {
+            return Err(ConfigError::BandsNotAscending { index: i });
         }
         Ok(())
     }
@@ -159,7 +242,7 @@ impl CacheConfig {
 }
 
 /// Engine-level configuration: windowing and run bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// GETs per metrics window (paper: 10^6; scaled runs use less).
     pub window_gets: u64,
@@ -255,28 +338,49 @@ mod tests {
     fn validation_catches_bad_geometry() {
         let mut c = CacheConfig::default();
         c.slab_bytes = 1000;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::SlabBytesNotPowerOfTwo(1000)));
+
+        let mut c = CacheConfig::default();
+        c.min_slot = 0;
+        assert_eq!(c.validate(), Err(ConfigError::MinSlotZero));
 
         let mut c = CacheConfig::default();
         c.min_slot = 48;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::MinSlotNotPowerOfTwo(48)));
 
         let mut c = CacheConfig::default();
         c.total_bytes = 1;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TotalSmallerThanSlab { total_bytes: 1, slab_bytes: 1 << 20 })
+        );
 
         let mut c = CacheConfig::default();
         c.penalty_bands = vec![];
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoPenaltyBands));
 
         let mut c = CacheConfig::default();
         c.penalty_bands =
             vec![SimDuration::from_millis(10), SimDuration::from_millis(10)];
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::BandsNotAscending { index: 1 }));
 
         let mut c = CacheConfig::default();
         c.min_slot = 2 << 20;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::MinSlotExceedsSlab { min_slot: 2 << 20, slab_bytes: 1 << 20 })
+        );
+    }
+
+    #[test]
+    fn config_errors_display_their_offending_values() {
+        let msg = ConfigError::SlabBytesNotPowerOfTwo(1000).to_string();
+        assert!(msg.contains("1000"), "{msg}");
+        let msg =
+            ConfigError::MinSlotExceedsSlab { min_slot: 4096, slab_bytes: 1024 }.to_string();
+        assert!(msg.contains("4096") && msg.contains("1024"), "{msg}");
+        let msg = ConfigError::BandsNotAscending { index: 3 }.to_string();
+        assert!(msg.contains('3') && msg.contains('2'), "{msg}");
     }
 
     #[test]

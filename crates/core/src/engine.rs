@@ -79,16 +79,19 @@ impl<P: Policy> Engine<P> {
     fn record_get(&mut self, hit: bool, filled: bool, service: SimDuration) {
         self.cur.gets += 1;
         self.cur.hits += u64::from(hit);
-        self.cur.service_us_sum += service.as_micros();
+        // Saturating: a hostile trace can carry near-u64::MAX penalties
+        // per request; the totals must degrade, not abort the run.
+        self.cur.service_us_sum = self.cur.service_us_sum.saturating_add(service.as_micros());
         if !hit {
-            self.cur.penalty_us_sum += service.as_micros();
+            self.cur.penalty_us_sum =
+                self.cur.penalty_us_sum.saturating_add(service.as_micros());
             if !filled {
                 self.cur.uncached_fills += 1;
             }
         }
         self.total_gets += 1;
         self.total_hits += u64::from(hit);
-        self.total_service_us += service.as_micros();
+        self.total_service_us = self.total_service_us.saturating_add(service.as_micros());
         if self.cur.gets >= self.ecfg.window_gets {
             self.close_window();
         }

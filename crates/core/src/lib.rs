@@ -59,7 +59,7 @@ pub mod segments;
 pub mod sweep;
 
 pub use cache::BaseCache;
-pub use config::{CacheConfig, EngineConfig};
+pub use config::{CacheConfig, ConfigError, EngineConfig};
 pub use engine::Engine;
 pub use metrics::{RunResult, WindowMetrics};
 pub use policy::{

@@ -5,11 +5,11 @@
 //! time series. [`WindowMetrics`] is one such sample; [`RunResult`] is
 //! a whole run with series extractors used by the figure harness.
 
+use pama_util::json::{obj, Json};
 use pama_util::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Snapshot of the allocator state at a window boundary.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocSnapshot {
     /// Slabs per class.
     pub per_class_slabs: Vec<u32>,
@@ -18,7 +18,7 @@ pub struct AllocSnapshot {
 }
 
 /// Metrics of one window of GETs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowMetrics {
     /// 0-based window index.
     pub window: u64,
@@ -49,16 +49,12 @@ impl WindowMetrics {
 
     /// Mean GET service time.
     pub fn avg_service(&self) -> SimDuration {
-        if self.gets == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.service_us_sum / self.gets)
-        }
+        SimDuration::from_micros(self.service_us_sum.checked_div(self.gets).unwrap_or(0))
     }
 }
 
 /// A complete run: the scheme's name, every window, and totals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Policy name (e.g. "pama(m=2)").
     pub policy: String,
@@ -90,11 +86,7 @@ impl RunResult {
 
     /// Overall mean GET service time.
     pub fn avg_service(&self) -> SimDuration {
-        if self.total_gets == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_service_us / self.total_gets)
-        }
+        SimDuration::from_micros(self.total_service_us.checked_div(self.total_gets).unwrap_or(0))
     }
 
     /// Per-window hit-ratio series (Figs. 5, 7, 9a).
@@ -142,6 +134,141 @@ impl RunResult {
     /// Mean window service time (seconds) over the last `k` windows.
     pub fn steady_state_service_secs(&self, k: usize) -> f64 {
         tail_mean(&self.avg_service_series_secs(), k)
+    }
+}
+
+impl AllocSnapshot {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "per_class_slabs",
+                Json::Arr(self.per_class_slabs.iter().map(|&n| Json::U64(u64::from(n))).collect()),
+            ),
+            (
+                "per_subclass_slots",
+                Json::Arr(
+                    self.per_subclass_slots
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|&n| Json::U64(n)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let slabs = v
+            .get("per_class_slabs")
+            .and_then(Json::as_arr)
+            .ok_or("missing per_class_slabs")?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("per_class_slabs entry is not a u32")
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        let slots = v
+            .get("per_subclass_slots")
+            .and_then(Json::as_arr)
+            .ok_or("missing per_subclass_slots")?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or("per_subclass_slots row is not an array")?
+                    .iter()
+                    .map(|x| x.as_u64().ok_or("per_subclass_slots entry is not a u64"))
+                    .collect::<Result<Vec<u64>, _>>()
+            })
+            .collect::<Result<Vec<Vec<u64>>, _>>()?;
+        Ok(AllocSnapshot { per_class_slabs: slabs, per_subclass_slots: slots })
+    }
+}
+
+impl WindowMetrics {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("window", Json::U64(self.window)),
+            ("gets", Json::U64(self.gets)),
+            ("hits", Json::U64(self.hits)),
+            ("service_us_sum", Json::U64(self.service_us_sum)),
+            ("penalty_us_sum", Json::U64(self.penalty_us_sum)),
+            ("uncached_fills", Json::U64(self.uncached_fills)),
+        ];
+        members.push(("alloc", match &self.alloc {
+            Some(a) => a.to_json(),
+            None => Json::Null,
+        }));
+        obj(members)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let u = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-u64 field `{name}`"))
+        };
+        let alloc = match v.get("alloc") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(AllocSnapshot::from_json(a)?),
+        };
+        Ok(WindowMetrics {
+            window: u("window")?,
+            gets: u("gets")?,
+            hits: u("hits")?,
+            service_us_sum: u("service_us_sum")?,
+            penalty_us_sum: u("penalty_us_sum")?,
+            uncached_fills: u("uncached_fills")?,
+            alloc,
+        })
+    }
+}
+
+impl RunResult {
+    /// Renders the run as a JSON object (exact u64 fidelity).
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("policy", Json::Str(self.policy.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("cache_bytes", Json::U64(self.cache_bytes)),
+            ("windows", Json::Arr(self.windows.iter().map(WindowMetrics::to_json).collect())),
+            ("total_gets", Json::U64(self.total_gets)),
+            ("total_hits", Json::U64(self.total_hits)),
+            ("total_service_us", Json::U64(self.total_service_us)),
+            ("total_requests", Json::U64(self.total_requests)),
+        ])
+    }
+
+    /// Parses the object shape emitted by [`RunResult::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let u = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-u64 field `{name}`"))
+        };
+        let s = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{name}`"))
+        };
+        let windows = v
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("missing `windows` array")?
+            .iter()
+            .map(WindowMetrics::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunResult {
+            policy: s("policy")?,
+            workload: s("workload")?,
+            cache_bytes: u("cache_bytes")?,
+            windows,
+            total_gets: u("total_gets")?,
+            total_hits: u("total_hits")?,
+            total_service_us: u("total_service_us")?,
+            total_requests: u("total_requests")?,
+        })
     }
 }
 

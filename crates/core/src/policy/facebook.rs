@@ -109,7 +109,7 @@ impl FacebookAge {
 
     fn tick_request(&mut self, now: SimTime) {
         self.requests_seen += 1;
-        if self.requests_seen % self.check_period == 0 {
+        if self.requests_seen.is_multiple_of(self.check_period) {
             self.maybe_balance(now);
         }
     }

@@ -26,10 +26,9 @@ use crate::cache::BaseCache;
 use crate::config::{CacheConfig, Tick};
 use crate::reuse::{greedy_allocate, MrcHistogram, ReuseTracker};
 use pama_trace::Request;
-use serde::{Deserialize, Serialize};
 
 /// LAMA-lite objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LamaObjective {
     /// Minimise predicted misses.
     HitRatio,
@@ -128,7 +127,7 @@ impl LamaLite {
         self.penalty_sum_us[class] += p.as_micros() as f64;
         self.penalty_count[class] += 1.0;
         self.gets_seen += 1;
-        if self.gets_seen % self.repartition_every == 0 {
+        if self.gets_seen.is_multiple_of(self.repartition_every) {
             self.repartition();
         }
     }

@@ -30,10 +30,9 @@ use crate::lru::{LruList, NodeRef};
 use crate::segments::{chunk_segments, MembershipMode, SubclassTracker};
 use pama_trace::Request;
 use pama_util::{FastMap, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// PAMA tuning knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PamaConfig {
     /// Number of reference segments `m` (paper default: 2; Fig. 10
     /// sweeps 0/2/4/8).
@@ -84,6 +83,20 @@ impl PamaConfig {
     /// The paper's pre-PAMA ablation configuration.
     pub fn pre_pama() -> Self {
         Self { count_mode: true, ..Self::default() }
+    }
+
+    /// Validates the tuning knobs, returning the first problem found.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.value_window == 0 {
+            return Err(ConfigError::ZeroValueWindow);
+        }
+        if let MembershipMode::Bloom { fpp } = self.membership {
+            if !(fpp > 0.0 && fpp < 1.0) {
+                return Err(ConfigError::BadBloomFpp(fpp));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -219,6 +232,7 @@ impl Pama {
 
     /// Creates PAMA with explicit tuning.
     pub fn with_config(cache_cfg: CacheConfig, pcfg: PamaConfig) -> Self {
+        pcfg.validate().expect("invalid pama config");
         let bands = cache_cfg.num_bands();
         let cache = BaseCache::new(cache_cfg, bands);
         let nc = cache.num_classes();
@@ -341,7 +355,7 @@ impl Pama {
                     continue;
                 }
                 let v = self.trackers[self.sub(c, b)].outgoing();
-                if best.map_or(true, |(_, _, bv)| v < bv) {
+                if best.is_none_or(|(_, _, bv)| v < bv) {
                     best = Some((c, b, v));
                 }
             }
@@ -441,7 +455,7 @@ impl Pama {
 
     fn note_access(&mut self) {
         self.accesses += 1;
-        if self.accesses % self.pcfg.value_window == 0 {
+        if self.accesses.is_multiple_of(self.pcfg.value_window) {
             self.rebuild_snapshots();
         }
     }

@@ -112,13 +112,10 @@ impl Policy for Twemcache {
                 self.cache.remove(meta.key);
             }
             let class = meta.class as usize;
-            match self.cache.insert(meta) {
-                crate::cache::InsertOutcome::NoSpace => {
-                    if self.make_room(class) {
-                        let _ = self.cache.insert(meta);
-                    }
-                }
-                _ => {}
+            if matches!(self.cache.insert(meta), crate::cache::InsertOutcome::NoSpace)
+                && self.make_room(class)
+            {
+                let _ = self.cache.insert(meta);
             }
         }
     }

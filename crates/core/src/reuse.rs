@@ -252,7 +252,7 @@ pub fn greedy_allocate(
                 }
             }
             if best_chunk > 0
-                && best.map_or(true, |(_, r, _)| best_rate > r)
+                && best.is_none_or(|(_, r, _)| best_rate > r)
             {
                 best = Some((c, best_rate, best_chunk));
             }

@@ -44,10 +44,9 @@
 
 use pama_bloom::SegmentedMembership;
 use pama_util::FastMap;
-use serde::{Deserialize, Serialize};
 
 /// Membership engine selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MembershipMode {
     /// Exact hash-map membership (simulation default).
     Exact,

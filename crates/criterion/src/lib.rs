@@ -1,0 +1,204 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! small API surface the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, `Bencher::iter`,
+//! [`Throughput`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop (median of
+//! `sample_size` samples) — adequate for coarse regression spotting,
+//! not statistically rigorous like the real crate. Output goes to
+//! stdout; there is no HTML report.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _parent: self, sample_size, throughput: None }
+    }
+
+    /// Runs a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_bench(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    // Calibrate: grow the iteration count until one batch takes ≳2ms,
+    // so per-iteration timings are not dominated by timer overhead.
+    let mut iters: u64 = 1;
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    loop {
+        b.iters = iters;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("bench time is never NaN"));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match tp {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / median),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / median),
+        None => String::new(),
+    };
+    println!("  {name:<28} {:>12}{rate}", fmt_time(median));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test -q` runs bench binaries with --test; skip the
+            // (slow) measurement loops there and during --list.
+            if std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

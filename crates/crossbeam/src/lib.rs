@@ -1,0 +1,171 @@
+//! Minimal, dependency-free stand-in for `crossbeam`.
+//!
+//! The build environment has no crates.io access; the workspace only
+//! uses `crossbeam::channel::unbounded` as an MPMC work queue, so that
+//! is what this vendors: an unbounded channel whose `Receiver` is
+//! clonable (each message is delivered to exactly one receiver), built
+//! on a `Mutex<VecDeque>` + `Condvar`. Throughput is far below the real
+//! crate's, which is fine for the campaign runner's coarse-grained jobs
+//! (one message per multi-second simulation).
+
+#![warn(missing_docs)]
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; clonable (work-stealing semantics).
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// (This shim never reports that case; sends always succeed.)
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like the real crate: don't require T: Debug.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message. Never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.items.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.items.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn multi_consumer_drains_exactly_once() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receivers_unblock_when_last_sender_drops() {
+        let (tx, rx) = channel::unbounded::<()>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(channel::RecvError));
+    }
+}

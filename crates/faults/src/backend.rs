@@ -1,0 +1,374 @@
+//! Simulated backing store with injectable faults.
+//!
+//! The paper's model assumes a miss is repaid by a backend fetch whose
+//! cost is the item's penalty. This module makes that backend an
+//! explicit object with failure modes, so the KV cache's miss path can
+//! be exercised under stress:
+//!
+//! * latency is drawn per fetch from the key's penalty band with
+//!   deterministic jitter,
+//! * a [`FaultSchedule`] injects [`Fault`]s over request-serial
+//!   intervals: total outages, latency storms, and penalty-band
+//!   shifts,
+//! * a [`RetryPolicy`] gives timeouts, bounded retries, and
+//!   exponential backoff; every simulated microsecond spent waiting is
+//!   accounted in the returned [`FetchOutcome`].
+//!
+//! Simulated time only — nothing here sleeps.
+
+use crate::penalty_model::GroupPenaltyModel;
+use pama_util::{Rng, SimDuration, SplitMix64};
+
+/// One injected fault, active over a request-serial interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Backend down: every attempt in `[from, until)` times out.
+    Outage {
+        /// First affected request serial.
+        from: u64,
+        /// First serial past the outage.
+        until: u64,
+    },
+    /// Latency multiplied by `factor` over `[from, until)`.
+    LatencyStorm {
+        /// First affected request serial.
+        from: u64,
+        /// First serial past the storm.
+        until: u64,
+        /// Latency multiplier (≥ 1).
+        factor: u32,
+    },
+    /// From `at` onward, the key→penalty-band assignment rotates by
+    /// `rotate` groups (see [`GroupPenaltyModel::rotate`]).
+    PenaltyShift {
+        /// First affected request serial.
+        at: u64,
+        /// Number of groups to rotate by.
+        rotate: u32,
+    },
+}
+
+/// An ordered set of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    /// The faults; intervals may overlap.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, f: Fault) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    fn outage_active(&self, serial: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Outage { from, until } if (*from..*until).contains(&serial))
+        })
+    }
+
+    fn storm_factor(&self, serial: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::LatencyStorm { from, until, factor }
+                    if (*from..*until).contains(&serial) =>
+                {
+                    Some(u64::from(*factor).max(1))
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn rotation(&self, serial: u64) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PenaltyShift { at, rotate } if serial >= *at => Some(*rotate),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Timeout/retry/backoff semantics for one logical fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per fetch (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Per-attempt timeout. An attempt whose latency exceeds this is
+    /// abandoned at the timeout and retried (if attempts remain).
+    pub timeout: SimDuration,
+    /// Backoff before the second attempt; doubles each retry.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            timeout: SimDuration::from_millis(2_500),
+            backoff: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Configuration for [`BackendSim`].
+#[derive(Debug, Clone)]
+pub struct BackendConfig {
+    /// Key → base-latency model (band representative penalties).
+    pub model: GroupPenaltyModel,
+    /// Deterministic jitter amplitude as a percentage of the base
+    /// latency (0 disables jitter).
+    pub jitter_pct: u8,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// Injected faults.
+    pub schedule: FaultSchedule,
+    /// Retry semantics.
+    pub retry: RetryPolicy,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            model: GroupPenaltyModel::default(),
+            jitter_pct: 10,
+            seed: 0x5eed,
+            schedule: FaultSchedule::none(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The result of one logical fetch (including all retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Total simulated time spent: latencies, timeouts, backoffs.
+    pub latency: SimDuration,
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Whether any attempt succeeded.
+    pub ok: bool,
+}
+
+/// Cumulative counters over a backend's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Logical fetches requested.
+    pub fetches: u64,
+    /// Retries beyond each fetch's first attempt.
+    pub retries: u64,
+    /// Fetches that exhausted all attempts.
+    pub failures: u64,
+    /// Total simulated time spent fetching, µs.
+    pub time_us: u64,
+}
+
+/// Deterministic simulated backend.
+#[derive(Debug, Clone)]
+pub struct BackendSim {
+    cfg: BackendConfig,
+    rng: SplitMix64,
+    stats: BackendStats,
+}
+
+impl BackendSim {
+    /// Builds a backend from its config.
+    pub fn new(cfg: BackendConfig) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        BackendSim { cfg, rng, stats: BackendStats::default() }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    /// The penalty the backend would charge `key` at `serial` — the
+    /// band representative under any active [`Fault::PenaltyShift`],
+    /// before jitter/faults. This is what a perfectly informed policy
+    /// would use as the item's penalty.
+    pub fn nominal_penalty(&self, key: u64, serial: u64) -> SimDuration {
+        let mut model = self.cfg.model.clone();
+        model.rotate(self.cfg.schedule.rotation(serial));
+        model.penalty(key)
+    }
+
+    /// Performs one logical fetch of `key` as request `serial`,
+    /// simulating retries per the [`RetryPolicy`].
+    pub fn fetch(&mut self, key: u64, serial: u64) -> FetchOutcome {
+        let retry = self.cfg.retry.clone();
+        let max_attempts = retry.max_attempts.max(1);
+        let base = self.nominal_penalty(key, serial);
+        let storm = self.cfg.schedule.storm_factor(serial);
+        let down = self.cfg.schedule.outage_active(serial);
+
+        let mut total = SimDuration::ZERO;
+        let mut backoff = retry.backoff;
+        let mut attempts = 0;
+        let mut ok = false;
+        while attempts < max_attempts {
+            if attempts > 0 {
+                total = total.saturating_add(backoff);
+                backoff = backoff.saturating_add(backoff);
+                self.stats.retries += 1;
+            }
+            attempts += 1;
+            let latency = if down {
+                // The attempt never completes; charge the full timeout.
+                retry.timeout
+            } else {
+                self.jittered(base).saturating_mul(storm)
+            };
+            if !down && latency <= retry.timeout {
+                total = total.saturating_add(latency);
+                ok = true;
+                break;
+            }
+            // Abandoned at the timeout boundary.
+            total = total.saturating_add(retry.timeout);
+        }
+
+        self.stats.fetches += 1;
+        if !ok {
+            self.stats.failures += 1;
+        }
+        self.stats.time_us = self.stats.time_us.saturating_add(total.as_micros());
+        FetchOutcome { latency: total, attempts, ok }
+    }
+
+    fn jittered(&mut self, base: SimDuration) -> SimDuration {
+        let pct = u64::from(self.cfg.jitter_pct.min(100));
+        if pct == 0 || base == SimDuration::ZERO {
+            return base;
+        }
+        let us = base.as_micros();
+        let amplitude = us.saturating_mul(pct) / 100;
+        if amplitude == 0 {
+            return base;
+        }
+        let delta = self.rng.next_u64() % (2 * amplitude + 1);
+        SimDuration::from_micros(us - amplitude + delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_backend(schedule: FaultSchedule) -> BackendSim {
+        BackendSim::new(BackendConfig { jitter_pct: 0, schedule, ..BackendConfig::default() })
+    }
+
+    #[test]
+    fn healthy_fetch_charges_the_band_penalty() {
+        let mut b = quiet_backend(FaultSchedule::none());
+        let key = 42;
+        let expect = b.nominal_penalty(key, 0);
+        let out = b.fetch(key, 0);
+        assert!(out.ok);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.latency, expect);
+        assert_eq!(b.stats().failures, 0);
+        assert_eq!(b.stats().retries, 0);
+    }
+
+    #[test]
+    fn outage_times_out_every_attempt_then_fails() {
+        let mut b = quiet_backend(
+            FaultSchedule::none().with(Fault::Outage { from: 10, until: 20 }),
+        );
+        let out = b.fetch(1, 15);
+        assert!(!out.ok);
+        assert_eq!(out.attempts, 3);
+        // 3 timeouts + backoff (10ms) + doubled backoff (20ms).
+        let retry = RetryPolicy::default();
+        let expect = retry
+            .timeout
+            .saturating_mul(3)
+            .saturating_add(SimDuration::from_millis(30));
+        assert_eq!(out.latency, expect);
+        assert_eq!(b.stats().failures, 1);
+        assert_eq!(b.stats().retries, 2);
+        // Outside the interval the backend is healthy again.
+        assert!(b.fetch(1, 25).ok);
+    }
+
+    #[test]
+    fn latency_storm_can_force_retries_but_still_fail_bounded() {
+        // Timeout below the stormed latency of slow bands → failures,
+        // but the outcome is always bounded and never panics.
+        let schedule =
+            FaultSchedule::none().with(Fault::LatencyStorm { from: 0, until: 100, factor: 1000 });
+        let mut cfg = BackendConfig { jitter_pct: 0, schedule, ..BackendConfig::default() };
+        cfg.retry = RetryPolicy {
+            max_attempts: 2,
+            timeout: SimDuration::from_millis(100),
+            backoff: SimDuration::from_millis(1),
+        };
+        let mut b = BackendSim::new(cfg);
+        let mut failed = 0;
+        for key in 0..50 {
+            let out = b.fetch(key, 10);
+            assert!(out.attempts <= 2);
+            let cap = SimDuration::from_millis(100 + 100 + 1 + 100); // 2 timeouts + backoff slack
+            assert!(out.latency <= cap, "unbounded latency {:?}", out.latency);
+            failed += u64::from(!out.ok);
+        }
+        assert!(failed > 0, "a 1000x storm against a 100ms timeout must fail slow bands");
+        assert_eq!(b.stats().failures, failed);
+    }
+
+    #[test]
+    fn penalty_shift_changes_nominal_penalties_at_the_serial() {
+        let b = quiet_backend(
+            FaultSchedule::none().with(Fault::PenaltyShift { at: 1000, rotate: 1 }),
+        );
+        let changed = (0..20u64).any(|k| b.nominal_penalty(k, 0) != b.nominal_penalty(k, 1000));
+        assert!(changed);
+        // Before the shift serial, rotation is not applied.
+        assert_eq!(b.nominal_penalty(3, 0), b.nominal_penalty(3, 999));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut b = BackendSim::new(BackendConfig { jitter_pct: 10, ..BackendConfig::default() });
+        for serial in 0..200 {
+            let key = serial * 31;
+            let base = b.nominal_penalty(key, serial).as_micros();
+            let out = b.fetch(key, serial);
+            assert!(out.ok);
+            let us = out.latency.as_micros();
+            assert!(us >= base - base / 10 && us <= base + base / 10, "{us} vs {base}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcomes() {
+        let mk = || BackendSim::new(BackendConfig::default());
+        let (mut a, mut b) = (mk(), mk());
+        for serial in 0..100 {
+            assert_eq!(a.fetch(serial * 7, serial), b.fetch(serial * 7, serial));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn zero_max_attempts_is_treated_as_one() {
+        let mut cfg = BackendConfig { jitter_pct: 0, ..BackendConfig::default() };
+        cfg.retry.max_attempts = 0;
+        let mut b = BackendSim::new(cfg);
+        let out = b.fetch(9, 0);
+        assert_eq!(out.attempts, 1);
+        assert!(out.ok);
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic trace-fault injection.
+//!
+//! [`TraceChaos`] takes a well-formed trace and damages it in the ways
+//! real production traces are damaged: timestamps arrive out of order
+//! (clock skew between collectors), items report zero sizes (lost
+//! metadata), GET/SET pairs are duplicated (at-least-once shipping),
+//! and on-disk bytes rot. Every mutation is drawn from a seeded RNG,
+//! so a failing case reproduces from (seed, config) alone.
+//!
+//! The injector is the adversarial half of the robustness story: the
+//! estimator, codecs, and policies must digest its output without
+//! panicking, and the codecs must reject (not crash on) its byte-level
+//! corruption.
+
+use pama_trace::request::{Op, Request, Trace};
+use pama_util::{Rng, SplitMix64};
+
+/// Mutation rates, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability of swapping a request's timestamp with its
+    /// successor's (producing out-of-order arrivals).
+    pub reorder_rate: f64,
+    /// Probability of zeroing a request's key and value sizes.
+    pub zero_size_rate: f64,
+    /// Probability of emitting a duplicate GET/SET pair after a
+    /// request (same key, same timestamp).
+    pub duplicate_rate: f64,
+    /// Per-byte corruption probability used by
+    /// [`TraceChaos::corrupt_bytes`].
+    pub corrupt_byte_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            reorder_rate: 0.05,
+            zero_size_rate: 0.02,
+            duplicate_rate: 0.03,
+            corrupt_byte_rate: 0.001,
+        }
+    }
+}
+
+/// Seeded trace-fault injector.
+#[derive(Debug, Clone)]
+pub struct TraceChaos {
+    cfg: ChaosConfig,
+    rng: SplitMix64,
+}
+
+impl TraceChaos {
+    /// Builds an injector; equal `(seed, cfg)` ⇒ equal mutations.
+    pub fn new(seed: u64, cfg: ChaosConfig) -> Self {
+        TraceChaos { cfg, rng: SplitMix64::new(seed ^ 0xc4a0_5f00_d1ce_0bad) }
+    }
+
+    fn flip(&mut self, p: f64) -> bool {
+        let unit = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        p > 0.0 && unit < p
+    }
+
+    /// Applies record-level mutations, returning the damaged trace.
+    /// Length grows by the duplicates; ordering of surviving records is
+    /// the input order except for the injected timestamp swaps.
+    pub fn mangle(&mut self, trace: &Trace) -> Trace {
+        let mut reqs: Vec<Request> = trace.requests.clone();
+
+        // Timestamp swaps first, so duplicates inherit damaged times.
+        for i in 0..reqs.len().saturating_sub(1) {
+            if self.flip(self.cfg.reorder_rate) {
+                let t = reqs[i].time;
+                reqs[i].time = reqs[i + 1].time;
+                reqs[i + 1].time = t;
+            }
+        }
+
+        let mut out = Vec::with_capacity(reqs.len() + reqs.len() / 8);
+        for mut r in reqs {
+            if self.flip(self.cfg.zero_size_rate) {
+                r.key_size = 0;
+                r.value_size = 0;
+            }
+            out.push(r);
+            if self.flip(self.cfg.duplicate_rate) {
+                // An at-least-once shipper re-delivers the logical
+                // operation: a GET and its refill SET, same instant.
+                let mut dup_get = r;
+                dup_get.op = Op::Get;
+                let mut dup_set = r;
+                dup_set.op = Op::Set;
+                out.push(dup_get);
+                out.push(dup_set);
+            }
+        }
+        Trace::from_requests(out)
+    }
+
+    /// Flips random bytes in `buf` at the configured per-byte rate,
+    /// always corrupting at least one byte of a non-empty buffer (so a
+    /// "corruption test" never silently tests the clean path).
+    pub fn corrupt_bytes(&mut self, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut touched = false;
+        for b in buf.iter_mut() {
+            if self.flip(self.cfg.corrupt_byte_rate) {
+                *b ^= (self.rng.next_u64() as u8) | 1;
+                touched = true;
+            }
+        }
+        if !touched {
+            let i = (self.rng.next_u64() % buf.len() as u64) as usize;
+            buf[i] ^= (self.rng.next_u64() as u8) | 1;
+        }
+    }
+
+    /// Truncates `buf` to a random prefix (possibly empty).
+    pub fn truncate_bytes(&mut self, buf: &mut Vec<u8>) {
+        if buf.is_empty() {
+            return;
+        }
+        let keep = (self.rng.next_u64() % buf.len() as u64) as usize;
+        buf.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_util::SimTime;
+
+    fn clean_trace(n: u64) -> Trace {
+        Trace::from_requests(
+            (0..n)
+                .map(|i| {
+                    let key = i % 97;
+                    match i % 3 {
+                        0 => Request::get(SimTime::from_micros(i * 10), key, 16, 100),
+                        1 => Request::set(SimTime::from_micros(i * 10), key, 16, 100),
+                        _ => Request::delete(SimTime::from_micros(i * 10), key, 16),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn mangle_is_deterministic_per_seed() {
+        let t = clean_trace(500);
+        let a = TraceChaos::new(7, ChaosConfig::default()).mangle(&t);
+        let b = TraceChaos::new(7, ChaosConfig::default()).mangle(&t);
+        assert_eq!(a, b);
+        let c = TraceChaos::new(8, ChaosConfig::default()).mangle(&t);
+        assert_ne!(a, c, "different seeds should damage differently");
+    }
+
+    #[test]
+    fn mangle_actually_injects_each_fault_kind() {
+        let t = clean_trace(2_000);
+        let damaged = TraceChaos::new(1, ChaosConfig::default()).mangle(&t);
+        assert!(!damaged.is_sorted(), "no out-of-order timestamps injected");
+        assert!(
+            damaged.requests.iter().any(|r| r.key_size == 0 && r.value_size == 0),
+            "no zero-size items injected"
+        );
+        assert!(damaged.len() > t.len(), "no duplicates injected");
+    }
+
+    #[test]
+    fn zero_rates_are_identity_on_records() {
+        let t = clean_trace(300);
+        let cfg = ChaosConfig {
+            reorder_rate: 0.0,
+            zero_size_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_byte_rate: 0.0,
+        };
+        assert_eq!(TraceChaos::new(3, cfg).mangle(&t), t);
+    }
+
+    #[test]
+    fn corrupt_bytes_always_changes_nonempty_buffers() {
+        let mut chaos = TraceChaos::new(5, ChaosConfig::default());
+        for len in [1usize, 7, 64, 4096] {
+            let clean: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut buf = clean.clone();
+            chaos.corrupt_bytes(&mut buf);
+            assert_ne!(buf, clean, "len {len} buffer unchanged");
+            assert_eq!(buf.len(), clean.len());
+        }
+        chaos.corrupt_bytes(&mut []); // must not panic
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut chaos = TraceChaos::new(11, ChaosConfig::default());
+        let mut buf: Vec<u8> = vec![0; 100];
+        chaos.truncate_bytes(&mut buf);
+        assert!(buf.len() < 100);
+        let mut empty: Vec<u8> = vec![];
+        chaos.truncate_bytes(&mut empty); // must not panic
+    }
+}

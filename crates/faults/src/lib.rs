@@ -1,0 +1,33 @@
+//! # pama-faults
+//!
+//! Chaos layer for the PAMA reproduction. The paper evaluates PAMA
+//! under well-behaved workloads; this crate supplies the *mis*behaved
+//! ones, so the rest of the workspace can verify graceful degradation:
+//!
+//! * [`backend`] — a simulated backing store with per-penalty-band
+//!   latency distributions, an injectable [`backend::FaultSchedule`]
+//!   (outages, latency storms, penalty-band shifts keyed to request
+//!   serials), and retry/timeout/backoff accounting. The KV cache's
+//!   miss path drives this model; the chaos experiment asserts that
+//!   penalty-weighted service time re-converges after a band shift.
+//! * [`inject`] — a deterministic, seeded trace-fault injector:
+//!   out-of-order timestamps, zero-size items, duplicated GET/SET
+//!   pairs, and raw byte corruption for exercising the codecs.
+//! * [`penalty_model`] — a hash-group penalty model whose band
+//!   rotation preserves the aggregate penalty distribution, which is
+//!   what makes "re-converges to within 10% of the pre-fault steady
+//!   state" a sound assertion rather than a lucky one.
+//!
+//! Everything is deterministic given a seed; nothing here panics on
+//! adversarial input.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod inject;
+pub mod penalty_model;
+
+pub use backend::{BackendConfig, BackendSim, Fault, FaultSchedule, FetchOutcome, RetryPolicy};
+pub use inject::{ChaosConfig, TraceChaos};
+pub use penalty_model::GroupPenaltyModel;

@@ -1,0 +1,178 @@
+//! Hash-group penalty model with distribution-preserving band shifts.
+//!
+//! Keys are partitioned into as many groups as there are penalty bands
+//! by a hash that is independent of key popularity. Each group is
+//! assigned one representative band penalty. Rotating the assignment
+//! (`group g` takes the penalty `group g+1` had) models a backend
+//! change that flips *which keys* are expensive while keeping the
+//! aggregate mix of penalties statistically identical — so a policy
+//! that fully re-learns the new assignment can return to its pre-shift
+//! penalty-weighted service time. That invariance is what the chaos
+//! experiment's re-convergence check leans on.
+
+use pama_trace::request::{Op, Request};
+use pama_util::SimDuration;
+
+/// Default representative penalty per paper band: midpointish values
+/// for (0,1ms], (1,10ms], (10,100ms], (100ms,1s], (1s,5s].
+pub const DEFAULT_BAND_PENALTIES_US: [u64; 5] = [500, 5_000, 50_000, 500_000, 2_000_000];
+
+/// Deterministic key → penalty assignment with a rotation knob.
+#[derive(Debug, Clone)]
+pub struct GroupPenaltyModel {
+    bands: Vec<SimDuration>,
+    rotation: u32,
+}
+
+impl Default for GroupPenaltyModel {
+    fn default() -> Self {
+        Self::new(DEFAULT_BAND_PENALTIES_US.iter().map(|&us| SimDuration::from_micros(us)))
+    }
+}
+
+impl GroupPenaltyModel {
+    /// Builds a model over the given representative band penalties.
+    /// An empty band list is replaced by the paper defaults.
+    pub fn new(bands: impl IntoIterator<Item = SimDuration>) -> Self {
+        let mut bands: Vec<SimDuration> = bands.into_iter().collect();
+        if bands.is_empty() {
+            bands = DEFAULT_BAND_PENALTIES_US
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect();
+        }
+        GroupPenaltyModel { bands, rotation: 0 }
+    }
+
+    /// Number of key groups (= number of bands).
+    pub fn groups(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Current rotation offset.
+    pub fn rotation(&self) -> u32 {
+        self.rotation
+    }
+
+    /// The key's group, independent of the rotation.
+    pub fn group_of(&self, key: u64) -> usize {
+        // SplitMix64 finalizer: decorrelates group from key popularity
+        // (workload generators tend to make small key ids the hot ones).
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % self.bands.len() as u64) as usize
+    }
+
+    /// The key's miss penalty under the current rotation.
+    pub fn penalty(&self, key: u64) -> SimDuration {
+        let g = self.group_of(key);
+        self.bands[(g + self.rotation as usize) % self.bands.len()]
+    }
+
+    /// Advances the rotation by `by` groups (wraps).
+    pub fn rotate(&mut self, by: u32) {
+        self.rotation = (self.rotation + by) % self.bands.len() as u32;
+    }
+
+    /// Stamps the model's penalties onto a request stream, rotating by
+    /// `rotate_by` starting at the `at_serial`-th request (0-based).
+    /// GETs and SETs are stamped; DELETEs keep their zero penalty.
+    pub fn stamp<'a>(
+        &'a self,
+        stream: impl Iterator<Item = Request> + 'a,
+        at_serial: u64,
+        rotate_by: u32,
+    ) -> impl Iterator<Item = Request> + 'a {
+        let mut shifted = self.clone();
+        shifted.rotate(rotate_by);
+        stream.enumerate().map(move |(i, mut r)| {
+            let model = if (i as u64) < at_serial { self } else { &shifted };
+            if matches!(r.op, Op::Get | Op::Set | Op::Replace) {
+                r.penalty_us = model.penalty(r.key).as_micros();
+            }
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pama_trace::request::Trace;
+    use pama_util::SimTime;
+
+    #[test]
+    fn rotation_approximately_preserves_the_penalty_distribution() {
+        let m = GroupPenaltyModel::default();
+        let mut rotated = m.clone();
+        rotated.rotate(2);
+        let keys: Vec<u64> = (0..10_000).collect();
+        let count_per_band = |model: &GroupPenaltyModel| {
+            let mut counts = std::collections::HashMap::new();
+            for &k in &keys {
+                *counts.entry(model.penalty(k).as_micros()).or_insert(0u64) += 1;
+            }
+            counts
+        };
+        let before = count_per_band(&m);
+        let after = count_per_band(&rotated);
+        // Same set of band values; per-band counts shift only by the
+        // (statistical) imbalance between hash groups.
+        assert_eq!(
+            before.keys().collect::<std::collections::BTreeSet<_>>(),
+            after.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+        for (band, &n_before) in &before {
+            let n_after = after[band];
+            let diff = n_before.abs_diff(n_after);
+            assert!(
+                diff * 10 < n_before,
+                "band {band}: {n_before} -> {n_after} (>10% shift)"
+            );
+        }
+        // ...but individual keys must actually change groups.
+        assert!(keys.iter().any(|&k| m.penalty(k) != rotated.penalty(k)));
+    }
+
+    #[test]
+    fn groups_are_roughly_balanced() {
+        let m = GroupPenaltyModel::default();
+        let mut counts = vec![0u64; m.groups()];
+        for k in 0..50_000u64 {
+            counts[m.group_of(k)] += 1;
+        }
+        let expect = 50_000 / m.groups() as u64;
+        for c in counts {
+            assert!(c > expect / 2 && c < expect * 2, "skewed group: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn stamp_switches_at_the_given_serial() {
+        let m = GroupPenaltyModel::default();
+        let t = Trace::from_requests(
+            (0..100).map(|i| Request::get(SimTime::from_micros(i), 7, 8, 64)).collect(),
+        );
+        let stamped: Vec<Request> = m.stamp(t.into_iter(), 50, 1).collect();
+        let before = stamped[0].penalty_us;
+        let after = stamped[99].penalty_us;
+        assert!(stamped[..50].iter().all(|r| r.penalty_us == before));
+        assert!(stamped[50..].iter().all(|r| r.penalty_us == after));
+        assert_ne!(before, after, "key 7 must change penalty under rotation 1");
+    }
+
+    #[test]
+    fn rotation_full_cycle_is_identity() {
+        let mut m = GroupPenaltyModel::default();
+        let p = m.penalty(42);
+        m.rotate(m.groups() as u32);
+        assert_eq!(m.penalty(42), p);
+    }
+
+    #[test]
+    fn empty_band_list_falls_back_to_defaults() {
+        let m = GroupPenaltyModel::new(std::iter::empty());
+        assert_eq!(m.groups(), DEFAULT_BAND_PENALTIES_US.len());
+    }
+}

@@ -43,8 +43,9 @@ pub use shard::LivePenaltyProbe;
 pub use stats::CacheStats;
 
 use bytes::Bytes;
-use pama_core::config::CacheConfig;
+use pama_core::config::{CacheConfig, ConfigError};
 use pama_core::policy::PamaConfig;
+use pama_faults::{BackendConfig, BackendSim};
 use pama_util::hash::hash_u64;
 use pama_util::SimDuration;
 use parking_lot::Mutex;
@@ -61,6 +62,7 @@ pub struct CacheBuilder {
     shards: usize,
     pama: PamaConfig,
     default_ttl: Option<SimDuration>,
+    backend: Option<BackendConfig>,
 }
 
 impl Default for CacheBuilder {
@@ -78,6 +80,7 @@ impl CacheBuilder {
             shards: 4,
             pama: PamaConfig::default(),
             default_ttl: None,
+            backend: None,
         }
     }
 
@@ -111,27 +114,61 @@ impl CacheBuilder {
         self
     }
 
-    /// Builds the cache.
-    ///
-    /// # Panics
-    /// Panics when the per-shard share is smaller than one slab or the
-    /// geometry is otherwise invalid.
-    pub fn build(self) -> PamaCache {
+    /// Attaches a simulated backend: every miss triggers a fetch whose
+    /// (simulated) latency, retries and failures are tracked in
+    /// [`CacheStats`], and whose measured latency seeds the key's
+    /// penalty estimate. Each shard gets its own [`BackendSim`] with a
+    /// shard-derived seed, so fault schedules stay deterministic per
+    /// shard without cross-shard lock contention.
+    pub fn backend(mut self, cfg: BackendConfig) -> Self {
+        self.backend = Some(cfg);
+        self
+    }
+
+    /// Builds the cache, returning a typed error when the per-shard
+    /// share is smaller than one slab or the geometry / PAMA knobs are
+    /// otherwise invalid.
+    pub fn try_build(self) -> Result<PamaCache, ConfigError> {
         let per_shard = self.total_bytes / self.shards as u64;
         let cfg = CacheConfig {
             total_bytes: per_shard,
             slab_bytes: self.slab_bytes,
             ..CacheConfig::default()
         };
-        cfg.validate().expect("invalid cache geometry");
+        cfg.validate()?;
+        self.pama.validate()?;
         let shards = (0..self.shards)
-            .map(|_| Mutex::new(Shard::new(cfg.clone(), self.pama.clone())))
+            .map(|i| {
+                let mut shard = Shard::new(cfg.clone(), self.pama.clone());
+                if let Some(b) = &self.backend {
+                    let mut b = b.clone();
+                    // Decorrelate shard jitter streams; keep schedules.
+                    b.seed = b
+                        .seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                    shard = shard.with_backend(BackendSim::new(b));
+                }
+                Mutex::new(shard)
+            })
             .collect();
-        PamaCache {
+        Ok(PamaCache {
             shards,
             mask: self.shards as u64 - 1,
             epoch: Instant::now(),
             default_ttl: self.default_ttl,
+        })
+    }
+
+    /// Builds the cache.
+    ///
+    /// # Panics
+    /// Panics when the per-shard share is smaller than one slab or the
+    /// geometry is otherwise invalid; [`Self::try_build`] is the
+    /// non-panicking variant.
+    pub fn build(self) -> PamaCache {
+        match self.try_build() {
+            Ok(c) => c,
+            Err(e) => panic!("invalid cache geometry: {e}"),
         }
     }
 }
@@ -339,6 +376,90 @@ mod tests {
         c.set(b"beta", b"B", None);
         assert_eq!(c.get(b"alpha").as_deref(), Some(&b"A"[..]));
         assert_eq!(c.get(b"beta").as_deref(), Some(&b"B"[..]));
+    }
+
+    #[test]
+    fn try_build_reports_bad_geometry_instead_of_panicking() {
+        // 1 MiB over 16 shards = 64 KiB per shard < one 256 KiB slab.
+        let err = CacheBuilder::new()
+            .total_bytes(1 << 20)
+            .slab_bytes(256 << 10)
+            .shards(16)
+            .try_build()
+            .err();
+        assert_eq!(
+            err,
+            Some(pama_core::config::ConfigError::TotalSmallerThanSlab {
+                total_bytes: 64 << 10,
+                slab_bytes: 256 << 10,
+            })
+        );
+
+        let mut pama = PamaConfig::default();
+        pama.value_window = 0;
+        let err = CacheBuilder::new().pama(pama).try_build().err();
+        assert_eq!(err, Some(pama_core::config::ConfigError::ZeroValueWindow));
+    }
+
+    #[test]
+    fn backend_outage_degrades_gracefully() {
+        use pama_faults::{Fault, FaultSchedule, RetryPolicy};
+        let backend = BackendConfig {
+            schedule: FaultSchedule::none().with(Fault::Outage { from: 0, until: u64::MAX }),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                timeout: SimDuration::from_millis(5),
+                backoff: SimDuration::from_millis(1),
+            },
+            ..BackendConfig::default()
+        };
+        let c = CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(2)
+            .backend(backend)
+            .try_build()
+            .unwrap();
+        for i in 0..100u32 {
+            assert!(c.get(format!("k{i}").as_bytes()).is_none());
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 100);
+        assert_eq!(s.backend_fetches, 100);
+        assert_eq!(s.backend_failures, 100, "every fetch times out under a total outage");
+        assert_eq!(s.backend_retries, 100, "one retry per fetch at max_attempts = 2");
+        assert!(s.backend_time_us > 0);
+        // The cache itself still works: writes land, reads hit.
+        c.set(b"still-alive", b"yes", None);
+        assert_eq!(c.get(b"still-alive").as_deref(), Some(&b"yes"[..]));
+    }
+
+    #[test]
+    fn backend_fetch_latency_becomes_the_penalty_estimate() {
+        let backend = BackendConfig { jitter_pct: 0, ..BackendConfig::default() };
+        let c = CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(1)
+            .backend(backend)
+            .try_build()
+            .unwrap();
+        for i in 0..50u32 {
+            let key = format!("k{i}");
+            let _ = c.get(key.as_bytes()); // miss → simulated fetch
+            c.set(key.as_bytes(), b"v", None);
+        }
+        let s = c.stats();
+        assert_eq!(s.backend_fetches, 50);
+        assert_eq!(s.backend_failures, 0);
+        assert_eq!(s.measured_penalties, 50);
+        // Band representatives run 500 µs – 2 s; a wall-clock probe
+        // would have measured near-zero gaps instead.
+        assert!(
+            s.mean_measured_penalty_us >= 500.0,
+            "mean {} µs is below the cheapest band",
+            s.mean_measured_penalty_us
+        );
     }
 
     #[test]

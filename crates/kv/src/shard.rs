@@ -6,6 +6,7 @@ use crate::stats::CacheStats;
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, Tick};
 use pama_core::policy::{Pama, PamaConfig, Policy};
+use pama_faults::BackendSim;
 use pama_trace::penalty::{DEFAULT_PENALTY, PENALTY_CAP};
 use pama_trace::Request;
 use pama_util::{FastMap, SimDuration, SimTime};
@@ -47,6 +48,11 @@ pub(crate) struct Shard {
     stats: CacheStats,
     probe: LivePenaltyProbe,
     serial: u64,
+    /// Optional simulated backing store. When present, every GET miss
+    /// drives a fetch through it — retries, timeouts, and outages
+    /// included — and a successful fetch's latency becomes the key's
+    /// penalty estimate (ground truth observed, not probed).
+    backend: Option<BackendSim>,
 }
 
 impl Shard {
@@ -62,7 +68,13 @@ impl Shard {
             stats: CacheStats::default(),
             probe: LivePenaltyProbe::default(),
             serial: 0,
+            backend: None,
         }
+    }
+
+    pub fn with_backend(mut self, backend: BackendSim) -> Self {
+        self.backend = Some(backend);
+        self
     }
 
     fn tick(&mut self, now: SimTime) -> Tick {
@@ -132,6 +144,30 @@ impl Shard {
 
     fn miss(&mut self, h: u64, now: SimTime) {
         self.stats.misses += 1;
+        if let Some(backend) = self.backend.as_mut() {
+            let out = backend.fetch(h, self.serial);
+            self.stats.backend_fetches += 1;
+            self.stats.backend_retries += u64::from(out.attempts.saturating_sub(1));
+            self.stats.backend_time_us =
+                self.stats.backend_time_us.saturating_add(out.latency.as_micros());
+            if out.ok {
+                // The fetch cost is the key's regeneration penalty,
+                // observed directly — better than the probe's guess, so
+                // no probe window opens (a wall-clock gap would shadow
+                // the measured latency).
+                self.estimates.insert(h, out.latency.min(PENALTY_CAP));
+                self.probe.samples += 1;
+                self.probe.mean_us += (out.latency.min(PENALTY_CAP).as_micros() as f64
+                    - self.probe.mean_us)
+                    / self.probe.samples as f64;
+            } else {
+                // Degraded miss: the backend could not serve. No probe
+                // window opens (a refill SET, if any, is not a
+                // regeneration measurement).
+                self.stats.backend_failures += 1;
+            }
+            return;
+        }
         self.probes.insert(h, Probe { miss_at: now });
         // Bound the probe table: keep only the freshest half when
         // oversized (stale probes would be over-cap anyway).

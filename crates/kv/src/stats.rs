@@ -1,11 +1,10 @@
 //! Cache-wide statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters reported by [`crate::PamaCache::stats`]. All counters are
 /// cumulative since cache creation except `items` / `live_bytes`
 /// (point-in-time).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
     /// GETs that returned a value.
     pub hits: u64,
@@ -30,6 +29,16 @@ pub struct CacheStats {
     pub measured_penalties: u64,
     /// Mean measured penalty in microseconds.
     pub mean_measured_penalty_us: f64,
+    /// Simulated backend fetches triggered by misses (0 when no
+    /// backend is attached).
+    pub backend_fetches: u64,
+    /// Backend retries beyond each fetch's first attempt.
+    pub backend_retries: u64,
+    /// Backend fetches that exhausted every attempt (the cache served
+    /// a degraded miss instead of crashing).
+    pub backend_failures: u64,
+    /// Total simulated time spent in backend fetches, µs.
+    pub backend_time_us: u64,
 }
 
 impl CacheStats {
@@ -63,6 +72,10 @@ impl CacheStats {
         self.rejected += other.rejected;
         self.items += other.items;
         self.live_bytes += other.live_bytes;
+        self.backend_fetches += other.backend_fetches;
+        self.backend_retries += other.backend_retries;
+        self.backend_failures += other.backend_failures;
+        self.backend_time_us = self.backend_time_us.saturating_add(other.backend_time_us);
     }
 }
 

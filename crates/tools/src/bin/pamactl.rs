@@ -177,6 +177,10 @@ fn cmd_sim(args: &Args) {
         slab_bytes: args.num("slab-kb", 256).unwrap_or_else(|| usage()) << 10,
         ..CacheConfig::default()
     };
+    if let Err(e) = cache.validate() {
+        eprintln!("invalid cache geometry: {e}");
+        std::process::exit(2);
+    }
     let ecfg = EngineConfig {
         window_gets: args.num("window", 100_000).unwrap_or_else(|| usage()),
         snapshot_allocations: false,

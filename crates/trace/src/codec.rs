@@ -2,7 +2,7 @@
 //!
 //! Two codecs, both streaming:
 //!
-//! * **JSONL** — one serde-serialized [`Request`] per line. Slow and
+//! * **JSONL** — one JSON-encoded [`Request`] per line. Slow and
 //!   large, but greppable and diffable; used for small fixtures.
 //! * **Binary** — a fixed 34-byte little-endian record per request
 //!   behind a 16-byte header (`magic`, `version`, `count`). About 10×
@@ -15,6 +15,7 @@
 
 use crate::request::{Op, Request, Trace};
 use bytes::{Buf, BufMut};
+use pama_util::json::{obj, Json};
 use pama_util::SimTime;
 use std::io::{self, BufRead, Write};
 
@@ -143,12 +144,17 @@ pub fn read_binary(r: &mut impl io::Read) -> Result<Trace, CodecError> {
         return Err(CodecError::BadVersion(version));
     }
     let count = h.get_u32_le() as usize;
+    // Checked: a hostile header must not overflow the size math (and
+    // the record vector is only sized after the byte count verifies,
+    // so a huge claimed count cannot drive a huge allocation either).
+    let expected_bytes = count
+        .checked_mul(RECORD_BYTES)
+        .ok_or_else(|| CodecError::Corrupt(format!("record count {count} overflows")))?;
     let mut body = Vec::new();
     r.read_to_end(&mut body)?;
-    if body.len() != count * RECORD_BYTES {
+    if body.len() != expected_bytes {
         return Err(CodecError::Corrupt(format!(
-            "expected {} bytes of records, found {}",
-            count * RECORD_BYTES,
+            "expected {expected_bytes} bytes of records, found {}",
             body.len()
         )));
     }
@@ -160,11 +166,45 @@ pub fn read_binary(r: &mut impl io::Read) -> Result<Trace, CodecError> {
     Ok(Trace::from_requests(requests))
 }
 
+/// Renders one request as a JSON object.
+pub fn request_to_json(r: &Request) -> Json {
+    obj(vec![
+        ("time_us", Json::U64(r.time.as_micros())),
+        ("op", Json::Str(r.op.tag().to_string())),
+        ("key", Json::U64(r.key)),
+        ("key_size", Json::U64(u64::from(r.key_size))),
+        ("value_size", Json::U64(u64::from(r.value_size))),
+        ("penalty_us", Json::U64(r.penalty_us)),
+    ])
+}
+
+/// Parses a request from the object shape emitted by
+/// [`request_to_json`]. All fields are required; numeric fields must
+/// fit their target widths.
+pub fn request_from_json(v: &Json) -> Result<Request, String> {
+    let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
+    let u64_field = |name: &str| {
+        field(name)?.as_u64().ok_or_else(|| format!("field `{name}` is not a u64"))
+    };
+    let u32_field = |name: &str| {
+        u32::try_from(u64_field(name)?).map_err(|_| format!("field `{name}` exceeds u32"))
+    };
+    let op_tag = field("op")?.as_str().ok_or("field `op` is not a string")?;
+    let op = Op::from_tag(op_tag).ok_or_else(|| format!("unknown op tag {op_tag:?}"))?;
+    Ok(Request {
+        time: SimTime::from_micros(u64_field("time_us")?),
+        op,
+        key: u64_field("key")?,
+        key_size: u32_field("key_size")?,
+        value_size: u32_field("value_size")?,
+        penalty_us: u64_field("penalty_us")?,
+    })
+}
+
 /// Writes a trace as JSON lines.
 pub fn write_jsonl(trace: &Trace, w: &mut impl Write) -> Result<(), CodecError> {
     for r in trace {
-        let line = serde_json::to_string(r)
-            .map_err(|e| CodecError::Corrupt(format!("serialize: {e}")))?;
+        let line = request_to_json(r).to_string_compact();
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
     }
@@ -179,8 +219,10 @@ pub fn read_jsonl(r: &mut impl BufRead) -> Result<Trace, CodecError> {
         if line.trim().is_empty() {
             continue;
         }
-        let req: Request = serde_json::from_str(&line)
+        let value = Json::parse(&line)
             .map_err(|e| CodecError::Json { line: i + 1, msg: e.to_string() })?;
+        let req = request_from_json(&value)
+            .map_err(|msg| CodecError::Json { line: i + 1, msg })?;
         requests.push(req);
     }
     Ok(Trace::from_requests(requests))
@@ -258,6 +300,36 @@ mod tests {
         buf[16 + 8] = 42; // first record's op byte
         let err = read_binary(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_never_panics_on_any_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample_trace(), &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            // Every prefix must produce Ok or Err, never a panic.
+            let _ = read_binary(&mut &buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn binary_never_panics_on_any_single_byte_corruption() {
+        let mut clean = Vec::new();
+        write_binary(&sample_trace(), &mut clean).unwrap();
+        for i in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[i] ^= 0xa5;
+            let _ = read_binary(&mut &buf[..]);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_record_count_without_allocating() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::new(), &mut buf).unwrap();
+        // Rewrite the count field to a huge value with no body bytes.
+        buf[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&mut &buf[..]), Err(CodecError::Corrupt(_))));
     }
 
     #[test]

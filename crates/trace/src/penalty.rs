@@ -17,7 +17,6 @@
 
 use crate::request::{Op, Request, Trace};
 use pama_util::{FastMap, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Upper bound on a believable miss penalty (paper: 5 seconds).
 pub const PENALTY_CAP: SimDuration = SimDuration(5_000_000);
@@ -26,7 +25,7 @@ pub const PENALTY_CAP: SimDuration = SimDuration(5_000_000);
 pub const DEFAULT_PENALTY: SimDuration = SimDuration(100_000);
 
 /// Per-key penalty table produced by [`PenaltyEstimator`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PenaltyMap {
     /// Estimated penalty per key (mean over usable samples).
     table: FastMap<u64, SimDuration>,
@@ -165,8 +164,10 @@ impl PenaltyEstimator {
                 if let Some(t0) = st.pending_get.take() {
                     let gap = r.time.saturating_since(t0);
                     if gap <= self.cap {
-                        st.sum_us += gap.as_micros();
-                        st.samples += 1;
+                        // Saturating: with a raised cap a hostile trace
+                        // can push the per-key sum toward u64::MAX.
+                        st.sum_us = st.sum_us.saturating_add(gap.as_micros());
+                        st.samples = st.samples.saturating_add(1);
                         self.accepted += 1;
                     } else {
                         self.discarded_over_cap += 1;

@@ -9,12 +9,11 @@
 //! provides.
 
 use pama_util::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Operation type, mirroring the Memcached primitives the paper lists
 /// (§I: SET / GET / DEL; the workload study also contains REPLACE-style
 /// updates, dominant in the VAR trace).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Retrieval. On a miss the engine charges the miss penalty and
     /// (when demand-fill is enabled) installs the item.
@@ -52,7 +51,7 @@ impl Op {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Arrival time on the simulated clock.
     pub time: SimTime,
@@ -112,7 +111,7 @@ impl Request {
 /// stream requests without materialising a `Trace`, but the evaluation
 /// harness holds scaled traces in memory for repeatable multi-scheme
 /// replays.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// The requests, in arrival order.
     pub requests: Vec<Request>,

@@ -50,7 +50,9 @@ pub fn concat(traces: &[&Trace], gap: SimDuration) -> Trace {
             r.time = clock + r.time.saturating_since(base);
             out.push(r);
         }
-        clock = out.last().unwrap().time + gap;
+        // `out` is never empty here (empty inputs were skipped above),
+        // but stay panic-free for any future control-flow change.
+        clock = out.last().map_or(clock, |r| r.time + gap);
     }
     Trace::from_requests(out)
 }
@@ -182,6 +184,23 @@ mod tests {
         assert!(c.is_sorted());
         assert_eq!(c.requests[2].time, SimTime::from_millis(11));
         assert_eq!(c.requests[3].time, SimTime::from_millis(21));
+    }
+
+    #[test]
+    fn concat_tolerates_empty_traces_anywhere() {
+        let empty = Trace::new();
+        assert!(concat(&[], SimDuration::ZERO).is_empty());
+        assert!(concat(&[&empty], SimDuration::ZERO).is_empty());
+        assert!(concat(&[&empty, &empty], SimDuration::from_millis(1)).is_empty());
+
+        // Empties interleaved with real traces neither panic nor shift time.
+        let a = mk(&[0, 10]);
+        let b = mk(&[0, 5]);
+        let c = concat(&[&empty, &a, &empty, &b, &empty], SimDuration::from_millis(1));
+        assert_eq!(c.len(), 4);
+        assert!(c.is_sorted());
+        assert_eq!(c.requests[2].time, SimTime::from_millis(11));
+        assert_eq!(c.requests[3].time, SimTime::from_millis(16));
     }
 
     #[test]

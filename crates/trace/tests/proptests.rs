@@ -152,6 +152,69 @@ proptest! {
     }
 
     #[test]
+    fn estimator_survives_out_of_order_timestamps(trace in arb_trace(200)) {
+        // Feed the trace UNSORTED (arb_request's times are arbitrary, so
+        // skipping the sort yields genuinely out-of-order streams). The
+        // estimator must neither panic nor emit an over-cap estimate: a
+        // SET "before" its GET clocks a zero gap, not an underflow.
+        let mut est = PenaltyEstimator::new();
+        for r in trace.iter().rev() {
+            est.observe(r);
+        }
+        let map = est.finish();
+        for (_, p) in map.iter() {
+            prop_assert!(p <= SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn duplicate_sets_only_count_the_first(
+        key in any::<u64>(),
+        gap_ms in 1u64..4_000,
+        dups in 2usize..10,
+    ) {
+        // GET then a burst of identical SETs: only the first closes the
+        // probe window; the duplicates must neither panic nor skew the
+        // estimate toward their later timestamps.
+        let mut reqs = vec![Request::get(SimTime::ZERO, key, 8, 10)];
+        for d in 0..dups as u64 {
+            reqs.push(Request::set(SimTime::from_millis(gap_ms + d * 500), key, 8, 10));
+        }
+        let mut est = PenaltyEstimator::new();
+        est.observe_trace(&Trace::from_requests(reqs));
+        prop_assert_eq!(est.accepted(), 1);
+        let map = est.finish();
+        prop_assert_eq!(map.penalty(key), SimDuration::from_millis(gap_ms));
+    }
+
+    #[test]
+    fn gaps_at_the_cap_boundary_split_exactly(key in any::<u64>()) {
+        // A gap of exactly 5s (the paper's cap) is accepted; one
+        // microsecond more is discarded and the key keeps the default.
+        let at_cap = Trace::from_requests(vec![
+            Request::get(SimTime::ZERO, key, 8, 10),
+            Request::set(SimTime::from_micros(5_000_000), key, 8, 10),
+        ]);
+        let mut est = PenaltyEstimator::new();
+        est.observe_trace(&at_cap);
+        prop_assert_eq!(est.accepted(), 1);
+        prop_assert_eq!(est.discarded_over_cap(), 0);
+        prop_assert_eq!(est.finish().penalty(key), SimDuration::from_secs(5));
+
+        let over_cap = Trace::from_requests(vec![
+            Request::get(SimTime::ZERO, key, 8, 10),
+            Request::set(SimTime::from_micros(5_000_001), key, 8, 10),
+        ]);
+        let mut est = PenaltyEstimator::new();
+        est.observe_trace(&over_cap);
+        prop_assert_eq!(est.accepted(), 0);
+        prop_assert_eq!(est.discarded_over_cap(), 1);
+        let map = est.finish();
+        prop_assert!(!map.has_estimate(key));
+        prop_assert_eq!(map.penalty(key), map.default_penalty());
+    }
+
+    #[test]
     fn annotate_only_fills_unknowns(trace in arb_trace(100)) {
         let mut annotated = trace.clone();
         let map = pama_trace::PenaltyMap::new(); // empty → default 100ms

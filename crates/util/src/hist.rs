@@ -11,10 +11,9 @@
 //!
 //! Both are plain arrays of counters: O(1) insert, mergeable, serde-able.
 
-use serde::{Deserialize, Serialize};
 
 /// Equal-width histogram over `[lo, hi)` with out-of-range clamping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearHistogram {
     lo: f64,
     hi: f64,
@@ -103,7 +102,7 @@ impl LinearHistogram {
 /// Bucket `i` covers `[2^i, 2^(i+1))`; value 0 lands in bucket 0.
 /// With 64 buckets the full `u64` domain is covered, but a smaller
 /// `max_buckets` clamps the tail (e.g. 21 buckets for sizes ≤ 1 MiB).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,

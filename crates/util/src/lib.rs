@@ -13,6 +13,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`hash`] | `FxHasher64`, `Mix13Hasher`, `FastMap`/`FastSet` aliases |
+//! | [`json`] | strict JSON value model, parser, and writers (no external deps) |
 //! | [`time`] | [`time::SimTime`] / [`time::SimDuration`] fixed-point microsecond clock |
 //! | [`rng`] | `SplitMix64`, `Xoshiro256StarStar`, the [`rng::Rng`] trait with float/normal helpers |
 //! | [`stats`] | streaming mean/variance, EWMA, windowed counters |
@@ -24,6 +25,7 @@
 
 pub mod hash;
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;

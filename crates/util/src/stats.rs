@@ -7,10 +7,9 @@
 //! ([`RatioCounter`]), and a fixed-capacity ring for windowed rates
 //! ([`SlidingWindow`]).
 
-use serde::{Deserialize, Serialize};
 
 /// Welford-style single-pass mean / variance / min / max accumulator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
@@ -115,7 +114,7 @@ impl StreamingStats {
 
 /// Exponentially weighted moving average with configurable smoothing
 /// factor `alpha` in (0, 1]; `alpha = 1` degrades to "last sample".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -149,7 +148,7 @@ impl Ewma {
 }
 
 /// Hit/total ratio counter used for windowed hit-ratio reporting.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RatioCounter {
     hits: u64,
     total: u64,

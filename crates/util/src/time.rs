@@ -7,22 +7,19 @@
 //! and cheap to sum. [`SimTime`] is a point on the simulated clock,
 //! [`SimDuration`] a distance between points.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A point in simulated time, in microseconds since simulation start.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -122,6 +119,19 @@ impl SimDuration {
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (adversarial traces can carry penalties
+    /// near `u64::MAX`; accounting must not overflow).
+    #[inline]
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating scalar multiplication.
+    #[inline]
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
     }
 
     /// Clamps the duration into `[lo, hi]`.
@@ -261,6 +271,14 @@ mod tests {
         assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
         assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
         assert_eq!(SimDuration::from_millis(2_500).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn saturating_ops_never_overflow() {
+        let max = SimDuration(u64::MAX);
+        assert_eq!(max.saturating_add(SimDuration::from_secs(1)), max);
+        assert_eq!(max.saturating_mul(3), max);
+        assert_eq!(SimDuration::from_millis(1).saturating_mul(2), SimDuration::from_millis(2));
     }
 
     #[test]

@@ -16,14 +16,13 @@ use pama_trace::{Op, Request, Trace};
 use pama_trace::transform::splice_at_get;
 use pama_util::hash::{hash_u64, mix13};
 use pama_util::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Namespace tag xor-ed into burst key ids so they cannot collide with
 /// generator keys (which come from a different mix13 domain).
 const BURST_KEY_DOMAIN: u64 = 0xc01d_b125_7000_0000;
 
 /// Configuration for a cold-item burst.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColdBurst {
     /// Total bytes of cold items to inject (paper: 10% of cache size).
     pub total_bytes: u64,

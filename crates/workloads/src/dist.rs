@@ -12,7 +12,6 @@
 //! shape ≈ 0.3485).
 
 use pama_util::{Rng, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Inverse standard-normal CDF, Acklam's rational approximation
 /// (|relative error| < 1.15e-9 over (0,1)).
@@ -25,7 +24,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -69,7 +68,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
 }
 
 /// A value-size distribution (bytes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SizeModel {
     /// Always the same size.
     Fixed(u32),
@@ -158,7 +157,7 @@ impl SizeModel {
 }
 
 /// A miss-penalty distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PenaltyModel {
     /// Always the same penalty.
     Fixed(SimDuration),
@@ -225,7 +224,7 @@ impl PenaltyModel {
 /// A key-size distribution. Production key sizes are short and narrow
 /// (ETC: 16–40 B dominates; USR: exactly 16 or 21 B), so a bounded
 /// uniform / discrete model suffices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KeySizeModel {
     /// Always the same key length.
     Fixed(u32),

@@ -25,11 +25,10 @@ use crate::dist::KeySizeModel;
 use crate::zipf::ZipfApprox;
 use pama_trace::{Op, Request, Trace};
 use pama_util::{Rng, SimDuration, SimTime, Xoshiro256StarStar};
-use serde::{Deserialize, Serialize};
 
 /// Operation-mix probabilities. They are normalised by their sum, so
 /// any positive weights work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// GET weight.
     pub get: f64,
@@ -67,7 +66,7 @@ impl OpMix {
 /// Diurnal load modulation: the arrival rate is multiplied by
 /// `1 + amplitude·sin(2π·t/period)`; `amplitude = 1/3` gives the ~2×
 /// peak-to-trough swing the workload study reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Diurnal {
     /// Cycle length in simulated time.
     pub period: SimDuration,
@@ -78,7 +77,7 @@ pub struct Diurnal {
 /// Hot-spot rotation: every `period_requests` requests, the popularity
 /// ranking shifts by `hop` ranks, so a different key population becomes
 /// hot — the "media event" pattern change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HotRotation {
     /// Requests between hops.
     pub period_requests: u64,
@@ -87,7 +86,7 @@ pub struct HotRotation {
 }
 
 /// Declarative workload description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadConfig {
     /// Human-readable name (e.g. "etc-like").
     pub name: String,

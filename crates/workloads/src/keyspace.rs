@@ -21,7 +21,6 @@
 use crate::dist::{KeySizeModel, PenaltyModel, SizeModel};
 use pama_util::hash::{hash_u64, mix13};
 use pama_util::{FastMap, Rng, SimDuration};
-use serde::{Deserialize, Serialize};
 
 const SEED_BAND: u64 = 0x5eed_0000_0000_0001;
 const SEED_VSIZE: u64 = 0x5eed_0000_0000_0002;
@@ -30,7 +29,7 @@ const SEED_PENALTY: u64 = 0x5eed_0000_0000_0004;
 
 /// One attribute band: a weighted sub-population of keys sharing size
 /// and penalty distributions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Band {
     /// Relative weight (need not sum to 1 across bands).
     pub weight: f64,

@@ -17,10 +17,9 @@ use crate::dist::{KeySizeModel, PenaltyModel, SizeModel};
 use crate::generator::{Diurnal, HotRotation, OpMix, WorkloadConfig};
 use crate::keyspace::Band;
 use pama_util::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The five workload families.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Preset {
     /// "The most representative of large-scale, general-purpose KV
     /// stores": Zipfian, small values dominate, notable DELETE share.

@@ -126,6 +126,11 @@ impl ZipfApprox {
         self.n
     }
 
+    /// True when the distribution has no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
     /// Samples a rank in `[0, n)`; rank 0 is the most popular.
     #[inline]
     pub fn sample(&self, rng: &mut impl Rng) -> u64 {

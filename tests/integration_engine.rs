@@ -106,8 +106,8 @@ fn different_seeds_produce_different_results() {
 #[test]
 fn run_results_serde_roundtrip() {
     let r = run(Box::new(Pama::new(small_cache())), Preset::Etc, 60_000, 5);
-    let json = serde_json::to_string(&r).unwrap();
-    let back: RunResult = serde_json::from_str(&json).unwrap();
+    let json = r.to_json().to_string_compact();
+    let back = RunResult::from_json(&pama::util::json::Json::parse(&json).unwrap()).unwrap();
     assert_eq!(r, back);
 }
 

@@ -5,7 +5,7 @@
 use pama::core::cache::BaseCache;
 use pama::core::config::{CacheConfig, Tick};
 use pama::core::policy::{
-    FacebookAge, GlobalLru, LamaLite, MemcachedOriginal, Pama, Policy, Psa, Twemcache,
+    FacebookAge, LamaLite, MemcachedOriginal, Pama, Policy, Psa, Twemcache,
 };
 use pama::trace::{Op, Request};
 use pama::util::{SimDuration, SimTime};
