@@ -224,6 +224,37 @@ fn bench_kv_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hashing(c: &mut Criterion) {
+    // The kv crate's key hashing used to be two passes: an FxHasher
+    // fold over the key bytes, then `hash_u64` over the fold. It is
+    // now the single-pass `hash_bytes`. This group keeps both on the
+    // board so the replacement provably never regresses.
+    use pama_util::hash::{hash_bytes, hash_u64, FxHasher64};
+    use std::hash::Hasher;
+    let mut g = c.benchmark_group("hashing");
+    g.throughput(Throughput::Elements(1));
+    let keys: Vec<Vec<u8>> =
+        (0..4096u32).map(|i| format!("bench-key-{i}").into_bytes()).collect();
+    const KEY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut i = 0usize;
+    g.bench_function("legacy_two_pass", |b| {
+        b.iter(|| {
+            i = (i + 1) & 4095;
+            let mut h = FxHasher64::new();
+            h.write(black_box(&keys[i]));
+            black_box(hash_u64(h.finish(), KEY_SEED))
+        })
+    });
+    let mut j = 0usize;
+    g.bench_function("hash_bytes_single_pass", |b| {
+        b.iter(|| {
+            j = (j + 1) & 4095;
+            black_box(hash_bytes(black_box(&keys[j]), KEY_SEED))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bloom,
@@ -233,6 +264,7 @@ criterion_group!(
     bench_workload_gen,
     bench_engine,
     bench_policy_decision,
-    bench_kv_cache
+    bench_kv_cache,
+    bench_hashing
 );
 criterion_main!(benches);

@@ -59,17 +59,15 @@ fn main() {
     };
     let mut gets = 0u64;
     let mut hits = 0u64;
-    let mut serial = 0u64;
-    for req in setup.workload().build().take(setup.requests) {
-        let tick = Tick { now: req.time, serial };
-        serial += 1;
+    for (serial, req) in setup.workload().build().take(setup.requests).enumerate() {
+        let tick = Tick { now: req.time, serial: serial as u64 };
         match req.op {
             Op::Get => {
                 gets += 1;
                 if p.on_get(&req, tick).hit {
                     hits += 1;
                 }
-                if gets % setup.window_gets == 0 {
+                if gets.is_multiple_of(setup.window_gets) {
                     println!(
                         "w{:>2} hit={:.3} items={} free_slabs={} alloc={:?}",
                         gets / setup.window_gets,

@@ -1,7 +1,7 @@
 //! The figure-reproduction CLI.
 //!
 //! ```text
-//! repro <experiment> [--out DIR] [--threads N] [--scale X] [--seed S]
+//! repro <experiment> [--out DIR] [--threads N] [--scale X] [--seed S] [--smoke]
 //!
 //! experiments:
 //!   fig1   miss penalty vs item size (APP-like)
@@ -18,6 +18,9 @@
 //!   ablation  bloom-vs-exact membership, PSA M, value window
 //!   chaos  fault injection: penalty-band shift re-convergence,
 //!          corrupted inputs, backend brownout
+//!   perf   kv GET/SET throughput (1/2/4/8 threads, zipfian keys),
+//!          batched ops, hit-latency percentiles; writes
+//!          BENCH_throughput.json at the repo root
 //!   smoke  fast end-to-end sanity run
 //!   all    every figure experiment in sequence
 //! ```
@@ -30,8 +33,8 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|smoke|all> \
-         [--out DIR] [--threads N] [--scale X] [--seed S]"
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|smoke|all> \
+         [--out DIR] [--threads N] [--scale X] [--seed S] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -65,6 +68,10 @@ fn main() -> ExitCode {
                     Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
                 i += 2;
             }
+            "--smoke" => {
+                opts.smoke = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -83,6 +90,7 @@ fn main() -> ExitCode {
             "presets" => experiments::presets::run(&opts),
             "ablation" => experiments::ablation::run(&opts),
             "chaos" => experiments::chaos::run(&opts),
+            "perf" => experiments::perf::run(&opts),
             "smoke" => experiments::smoke::run(&opts),
             _ => usage(),
         };

@@ -121,7 +121,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         ("pama_burst", pama_b),
     ] {
         let runs =
-            vec![("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
+            [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
         let refs: Vec<(&str, Vec<f64>)> =
             runs.iter().map(|(n, s)| (*n, s.clone())).collect();
         write_file(&dir, &format!("fig9_{name}.csv"), &series_csv("window", &refs));

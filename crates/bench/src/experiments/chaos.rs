@@ -103,7 +103,7 @@ fn scenario_penalty_shift(opts: &ExpOptions) -> ExpResult {
     print_run_summary("Chaos: mid-run penalty-band shift", &results, 8);
     for r in &results {
         let series =
-            vec![("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
+            [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
         let refs: Vec<(&str, Vec<f64>)> =
             series.iter().map(|(n, s)| (*n, s.clone())).collect();
         write_file(

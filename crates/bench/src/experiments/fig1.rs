@@ -111,7 +111,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         .max_by_key(|&(_, spread)| spread);
     checks.push(ShapeCheck::new(
         "per-size-bin penalty spread is wide (scatter, not a curve)",
-        widest.map_or(false, |(_, s)| s >= 10),
+        widest.is_some_and(|(_, s)| s >= 10),
         format!("widest bin spread {widest:?}"),
     ));
     checks

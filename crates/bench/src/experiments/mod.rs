@@ -13,6 +13,7 @@
 //! | `ablation` | Bloom vs exact membership, PSA `M`, value window | [`ablation`] |
 //! | `chaos` | fault injection & graceful degradation (extension) | [`chaos`] |
 //! | `presets` | USR/SYS/VAR: the paper's workload-selection rationale | [`presets`] |
+//! | `perf` | kv GET/SET throughput + hit latency (extension) | [`perf`] |
 //! | `smoke` | 30-second end-to-end sanity run | [`smoke`] |
 
 pub mod ablation;
@@ -23,6 +24,7 @@ pub mod chaos;
 pub mod etc;
 pub mod extended;
 pub mod fig1;
+pub mod perf;
 pub mod presets;
 pub mod sensitivity;
 pub mod smoke;
@@ -41,11 +43,13 @@ pub struct ExpOptions {
     pub scale: f64,
     /// Override trace seed.
     pub seed: Option<u64>,
+    /// Reduced op counts for CI (currently honored by `perf`).
+    pub smoke: bool,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { out: None, threads: 0, scale: 1.0, seed: None }
+        Self { out: None, threads: 0, scale: 1.0, seed: None, smoke: false }
     }
 }
 

@@ -300,8 +300,7 @@ mod tests {
 
     #[test]
     fn item_overhead_shifts_classes() {
-        let mut c = CacheConfig::default();
-        c.item_overhead = 56;
+        let c = CacheConfig { item_overhead: 56, ..Default::default() };
         assert_eq!(c.class_of(16, 40), Some(1)); // 112 B with overhead
     }
 
@@ -336,36 +335,31 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_geometry() {
-        let mut c = CacheConfig::default();
-        c.slab_bytes = 1000;
+        let c = CacheConfig { slab_bytes: 1000, ..Default::default() };
         assert_eq!(c.validate(), Err(ConfigError::SlabBytesNotPowerOfTwo(1000)));
 
-        let mut c = CacheConfig::default();
-        c.min_slot = 0;
+        let c = CacheConfig { min_slot: 0, ..Default::default() };
         assert_eq!(c.validate(), Err(ConfigError::MinSlotZero));
 
-        let mut c = CacheConfig::default();
-        c.min_slot = 48;
+        let c = CacheConfig { min_slot: 48, ..Default::default() };
         assert_eq!(c.validate(), Err(ConfigError::MinSlotNotPowerOfTwo(48)));
 
-        let mut c = CacheConfig::default();
-        c.total_bytes = 1;
+        let c = CacheConfig { total_bytes: 1, ..Default::default() };
         assert_eq!(
             c.validate(),
             Err(ConfigError::TotalSmallerThanSlab { total_bytes: 1, slab_bytes: 1 << 20 })
         );
 
-        let mut c = CacheConfig::default();
-        c.penalty_bands = vec![];
+        let c = CacheConfig { penalty_bands: vec![], ..Default::default() };
         assert_eq!(c.validate(), Err(ConfigError::NoPenaltyBands));
 
-        let mut c = CacheConfig::default();
-        c.penalty_bands =
-            vec![SimDuration::from_millis(10), SimDuration::from_millis(10)];
+        let c = CacheConfig {
+            penalty_bands: vec![SimDuration::from_millis(10), SimDuration::from_millis(10)],
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::BandsNotAscending { index: 1 }));
 
-        let mut c = CacheConfig::default();
-        c.min_slot = 2 << 20;
+        let c = CacheConfig { min_slot: 2 << 20, ..Default::default() };
         assert_eq!(
             c.validate(),
             Err(ConfigError::MinSlotExceedsSlab { min_slot: 2 << 20, slab_bytes: 1 << 20 })
@@ -385,8 +379,7 @@ mod tests {
 
     #[test]
     fn single_band_config_works() {
-        let mut c = CacheConfig::default();
-        c.penalty_bands = vec![SimDuration::from_secs(5)];
+        let c = CacheConfig { penalty_bands: vec![SimDuration::from_secs(5)], ..Default::default() };
         c.validate().unwrap();
         assert_eq!(c.band_of(SimDuration::from_millis(1)), 0);
         assert_eq!(c.band_of(SimDuration::from_secs(10)), 0);

@@ -539,6 +539,22 @@ impl Policy for Pama {
         self.pama_insert(meta);
     }
 
+    fn on_batch_access(&mut self, keys: &[u64], tick: Tick) {
+        for &key in keys {
+            // The access happened when the hit was served, so it counts
+            // toward the value window even if the key has since left.
+            self.note_access();
+            if let Some(meta) = self.cache.touch(key, tick.now) {
+                let w = self.weight(meta.penalty);
+                let s = self.sub(meta.class as usize, meta.band as usize);
+                self.trackers[s].on_hit(key, w);
+            }
+            // A key evicted between the recorded hit and this drain is
+            // skipped: it was a hit when recorded, so a miss-path ghost
+            // credit now would double-count it.
+        }
+    }
+
     fn on_delete(&mut self, req: &Request, _tick: Tick) {
         self.note_access();
         if let Some(old) = self.cache.remove(req.key) {
@@ -668,10 +684,8 @@ mod tests {
         assert_eq!(p.cache().free_slabs(), 0);
         // distinct expensive keys in class 5 (2 KiB slots): every GET
         // misses; ghosts accumulate incoming value for that subclass.
-        let mut t = 2;
         for round in 0..200u64 {
-            p.on_get(&get_p(200 + (round % 6), 2000, 3000), tick(t));
-            t += 1;
+            p.on_get(&get_p(200 + (round % 6), 2000, 3000), tick(round + 2));
         }
         assert!(p.migrations() > 0, "no migration toward expensive subclass");
         assert!(

@@ -1,14 +1,22 @@
 //! Minimal, dependency-free stand-in for `crossbeam`.
 //!
-//! The build environment has no crates.io access; the workspace only
-//! uses `crossbeam::channel::unbounded` as an MPMC work queue, so that
-//! is what this vendors: an unbounded channel whose `Receiver` is
-//! clonable (each message is delivered to exactly one receiver), built
-//! on a `Mutex<VecDeque>` + `Condvar`. Throughput is far below the real
-//! crate's, which is fine for the campaign runner's coarse-grained jobs
-//! (one message per multi-second simulation).
+//! The build environment has no crates.io access; the workspace uses
+//! two pieces of the real crate, so that is what this vendors:
+//!
+//! * [`channel::unbounded`] — an MPMC work queue whose `Receiver` is
+//!   clonable (each message is delivered to exactly one receiver),
+//!   built on a `Mutex<VecDeque>` + `Condvar`. Throughput is far below
+//!   the real crate's, which is fine for the campaign runner's
+//!   coarse-grained jobs (one message per multi-second simulation).
+//! * [`queue::ArrayQueue`] — a bounded lock-free MPMC ring buffer
+//!   (Vyukov's sequence-stamped design, the same algorithm the real
+//!   crate uses). This one *is* on a hot path: `pama-kv` records every
+//!   GET hit through it, so pushes and pops are single-CAS and never
+//!   block.
 
 #![warn(missing_docs)]
+
+pub mod queue;
 
 /// MPMC channels.
 pub mod channel {

@@ -18,7 +18,14 @@
 //!   ([`PamaCache::set_with_penalty`]);
 //! * **TTL support** with lazy expiry;
 //! * **sharding** for concurrency: keys hash to independent shards,
-//!   each behind its own lock, each running its own PAMA instance.
+//!   each running its own PAMA instance;
+//! * a **read-mostly hot path**: a cache-hit GET runs entirely under a
+//!   shared read lock; LRU promotion and PAMA bookkeeping are recorded
+//!   in a per-shard lock-free log and applied in batches under the
+//!   write lock (see DESIGN.md, "Concurrency model");
+//! * **batched operations**: [`PamaCache::multi_get`] /
+//!   [`PamaCache::multi_set`] group keys by shard and take each shard
+//!   lock once.
 //!
 //! ```
 //! use pama_kv::{CacheBuilder, PamaCache};
@@ -36,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod log;
 mod shard;
 mod stats;
 
@@ -46,13 +54,18 @@ use bytes::Bytes;
 use pama_core::config::{CacheConfig, ConfigError};
 use pama_core::policy::PamaConfig;
 use pama_faults::{BackendConfig, BackendSim};
-use pama_util::hash::hash_u64;
+use pama_util::hash::hash_bytes;
 use pama_util::SimDuration;
-use parking_lot::Mutex;
-use shard::Shard;
+use shard::{Shard, ShardCell};
 use std::time::Instant;
 
 const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Hashes key bytes in a single seeded pass (no intermediate fold).
+#[inline]
+fn hash_key(key: &[u8]) -> u64 {
+    hash_bytes(key, KEY_SEED)
+}
 
 /// Builder for [`PamaCache`].
 #[derive(Debug, Clone)]
@@ -63,6 +76,7 @@ pub struct CacheBuilder {
     pama: PamaConfig,
     default_ttl: Option<SimDuration>,
     backend: Option<BackendConfig>,
+    exclusive_lock: bool,
 }
 
 impl Default for CacheBuilder {
@@ -81,6 +95,7 @@ impl CacheBuilder {
             pama: PamaConfig::default(),
             default_ttl: None,
             backend: None,
+            exclusive_lock: false,
         }
     }
 
@@ -111,6 +126,16 @@ impl CacheBuilder {
     /// Default TTL applied to `set` calls without an explicit one.
     pub fn default_ttl(mut self, ttl: Option<SimDuration>) -> Self {
         self.default_ttl = ttl;
+        self
+    }
+
+    /// Routes every operation — GETs included — through the shard's
+    /// exclusive write lock with inline LRU promotion, disabling the
+    /// deferred-hit log. This reproduces the pre-concurrency design;
+    /// it exists as the benchmark baseline (`repro perf` measures both
+    /// modes in the same run) and has no production use.
+    pub fn exclusive_lock(mut self, on: bool) -> Self {
+        self.exclusive_lock = on;
         self
     }
 
@@ -148,7 +173,7 @@ impl CacheBuilder {
                         .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
                     shard = shard.with_backend(BackendSim::new(b));
                 }
-                Mutex::new(shard)
+                ShardCell::new(shard, self.exclusive_lock)
             })
             .collect();
         Ok(PamaCache {
@@ -175,7 +200,7 @@ impl CacheBuilder {
 
 /// The concurrent penalty-aware cache. See the crate docs.
 pub struct PamaCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardCell>,
     mask: u64,
     epoch: Instant,
     default_ttl: Option<SimDuration>,
@@ -192,19 +217,28 @@ impl PamaCache {
         pama_util::SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
     }
 
+    /// Folds all 64 hash bits into the shard index so every region of
+    /// the hash contributes (the old scheme used only bits 48–63).
     #[inline]
-    fn shard_of(&self, h: u64) -> &Mutex<Shard> {
-        // High bits pick the shard; low bits stay useful inside it.
-        &self.shards[((h >> 48) & self.mask) as usize]
+    fn shard_index(&self, h: u64) -> usize {
+        let f = h ^ (h >> 32);
+        let f = f ^ (f >> 16);
+        (f & self.mask) as usize
     }
 
-    /// Looks a key up. On a miss, the shard starts a penalty-probe
-    /// window for the key: if a `set` follows shortly, the gap becomes
-    /// the key's measured regeneration penalty (the paper's estimator,
-    /// live).
+    #[inline]
+    fn shard_of(&self, h: u64) -> &ShardCell {
+        &self.shards[self.shard_index(h)]
+    }
+
+    /// Looks a key up. A hit is served under the shard's shared read
+    /// lock; its recency bookkeeping is deferred through the access
+    /// log. On a miss, the shard starts a penalty-probe window for the
+    /// key: if a `set` follows shortly, the gap becomes the key's
+    /// measured regeneration penalty (the paper's estimator, live).
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
-        let h = hash_u64(fold_key(key), KEY_SEED);
-        self.shard_of(h).lock().get(h, key, self.now())
+        let h = hash_key(key);
+        self.shard_of(h).get(h, key, self.now())
     }
 
     /// Inserts or updates a key with the default TTL. The regeneration
@@ -212,15 +246,8 @@ impl PamaCache {
     /// open, else the key's previous estimate, else the configured
     /// default (100 ms).
     pub fn set(&self, key: &[u8], value: &[u8], ttl: Option<SimDuration>) {
-        let h = hash_u64(fold_key(key), KEY_SEED);
-        self.shard_of(h).lock().set(
-            h,
-            key,
-            value,
-            ttl.or(self.default_ttl),
-            None,
-            self.now(),
-        );
+        let h = hash_key(key);
+        self.shard_of(h).set(h, key, value, ttl.or(self.default_ttl), None, self.now());
     }
 
     /// Inserts or updates a key with an explicit regeneration penalty
@@ -232,8 +259,8 @@ impl PamaCache {
         penalty: SimDuration,
         ttl: Option<SimDuration>,
     ) {
-        let h = hash_u64(fold_key(key), KEY_SEED);
-        self.shard_of(h).lock().set(
+        let h = hash_key(key);
+        self.shard_of(h).set(
             h,
             key,
             value,
@@ -245,21 +272,76 @@ impl PamaCache {
 
     /// Removes a key. Returns whether it was present.
     pub fn delete(&self, key: &[u8]) -> bool {
-        let h = hash_u64(fold_key(key), KEY_SEED);
-        self.shard_of(h).lock().delete(h, key)
+        let h = hash_key(key);
+        self.shard_of(h).delete(h, key, self.now())
     }
 
     /// Whether a key is currently cached (and not expired).
     pub fn contains(&self, key: &[u8]) -> bool {
-        let h = hash_u64(fold_key(key), KEY_SEED);
-        self.shard_of(h).lock().contains(h, key, self.now())
+        let h = hash_key(key);
+        self.shard_of(h).contains(h, key, self.now())
     }
 
-    /// Aggregated statistics across all shards.
+    /// Looks up many keys at once, returning values in input order.
+    ///
+    /// Keys are grouped by shard so each shard's lock is taken at most
+    /// twice (one shared pass for the hits, one exclusive pass for the
+    /// misses) regardless of batch size — observationally equivalent
+    /// to calling [`Self::get`] per key.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Bytes>> {
+        let now = self.now();
+        let mut out = vec![None; keys.len()];
+        let mut groups: Vec<Vec<(usize, u64)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            let h = hash_key(key);
+            groups[self.shard_index(h)].push((i, h));
+        }
+        for (cell, group) in self.shards.iter().zip(&groups) {
+            if !group.is_empty() {
+                cell.multi_get_group(group, keys, &mut out, now);
+            }
+        }
+        out
+    }
+
+    /// Inserts or updates many key/value pairs at once with a common
+    /// TTL, grouping by shard so each shard's write lock is taken once
+    /// — observationally equivalent to calling [`Self::set`] per pair
+    /// in order.
+    pub fn multi_set(&self, items: &[(&[u8], &[u8])], ttl: Option<SimDuration>) {
+        let now = self.now();
+        let ttl = ttl.or(self.default_ttl);
+        let mut groups: Vec<Vec<(usize, u64)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, (key, _)) in items.iter().enumerate() {
+            let h = hash_key(key);
+            groups[self.shard_index(h)].push((i, h));
+        }
+        for (cell, group) in self.shards.iter().zip(&groups) {
+            if !group.is_empty() {
+                cell.multi_set_group(group, items, ttl, now);
+            }
+        }
+    }
+
+    /// Drains every shard's deferred-hit log, applying pending LRU
+    /// promotions and PAMA bookkeeping under each shard's write lock.
+    /// Normally unnecessary — logs drain whenever a shard's write lock
+    /// is taken (SET/DELETE/miss/sweep) — but useful before inspecting
+    /// policy state after a read-only phase.
+    pub fn flush(&self) {
+        let now = self.now();
+        for cell in &self.shards {
+            cell.flush(now);
+        }
+    }
+
+    /// Aggregated statistics across all shards. Lock-free: counters
+    /// are atomics read with `Relaxed` loads, so this never blocks (or
+    /// is blocked by) readers and writers.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for s in &self.shards {
-            total.merge(&s.lock().stats());
+        for cell in &self.shards {
+            total.merge(&cell.stats());
         }
         total
     }
@@ -273,20 +355,20 @@ impl PamaCache {
     /// TTL has lapsed. Expiry is otherwise lazy (checked on access).
     pub fn sweep_expired(&self) -> usize {
         let now = self.now();
-        self.shards.iter().map(|s| s.lock().sweep_expired(now)).sum()
+        self.shards.iter().map(|cell| cell.sweep_expired(now)).sum()
     }
-}
 
-/// Folds arbitrary key bytes into a u64 for hashing (FNV-1a style —
-/// the result is re-mixed by `hash_u64`, so simplicity is fine).
-#[inline]
-fn fold_key(key: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in key {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    /// Test/diagnostic hook: flushes the logs, then verifies that every
+    /// shard's byte store and policy accounting agree and that the
+    /// allocator invariants hold.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let now = self.now();
+        for (i, cell) in self.shards.iter().enumerate() {
+            cell.check_consistency(now).map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
     }
-    h ^ (key.len() as u64)
 }
 
 #[cfg(test)]
@@ -354,6 +436,7 @@ mod tests {
         assert!(s.evictions > 0);
         // freshest items survive
         assert!(c.contains(b"bulk-1999"));
+        c.check_invariants().unwrap();
     }
 
     #[test]
@@ -395,8 +478,7 @@ mod tests {
             })
         );
 
-        let mut pama = PamaConfig::default();
-        pama.value_window = 0;
+        let pama = PamaConfig { value_window: 0, ..Default::default() };
         let err = CacheBuilder::new().pama(pama).try_build().err();
         assert_eq!(err, Some(pama_core::config::ConfigError::ZeroValueWindow));
     }
@@ -483,5 +565,83 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.sets, 8_000);
         assert!(s.hits >= 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_get_matches_single_gets() {
+        let c = small();
+        for i in 0..64u32 {
+            c.set(format!("m{i}").as_bytes(), format!("v{i}").as_bytes(), None);
+        }
+        let owned: Vec<Vec<u8>> = (0..80u32).map(|i| format!("m{i}").into_bytes()).collect();
+        let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+        let got = c.multi_get(&keys);
+        for (i, v) in got.iter().enumerate() {
+            if i < 64 {
+                assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()));
+            } else {
+                assert!(v.is_none(), "key m{i} was never set");
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 64);
+        assert_eq!(s.misses, 16);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_set_matches_single_sets() {
+        let c = small();
+        let owned: Vec<(Vec<u8>, Vec<u8>)> = (0..50u32)
+            .map(|i| (format!("b{i}").into_bytes(), format!("w{i}").into_bytes()))
+            .collect();
+        let items: Vec<(&[u8], &[u8])> =
+            owned.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        c.multi_set(&items, None);
+        let s = c.stats();
+        assert_eq!(s.sets, 50);
+        assert_eq!(s.items, 50);
+        for (k, v) in &owned {
+            assert_eq!(c.get(k).as_deref(), Some(v.as_slice()));
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flush_applies_deferred_promotions() {
+        let c = CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(1)
+            .build();
+        c.set(b"hot", b"v", None);
+        for _ in 0..10 {
+            assert!(c.get(b"hot").is_some());
+        }
+        c.flush();
+        let s = c.stats();
+        assert_eq!(s.hits, 10);
+        assert_eq!(s.deferred_hits, 10, "flush must apply every logged hit");
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_mode_promotes_inline() {
+        let c = CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(1)
+            .exclusive_lock(true)
+            .build();
+        c.set(b"k", b"v", None);
+        for _ in 0..5 {
+            assert!(c.get(b"k").is_some());
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.deferred_hits, 0, "exclusive mode never defers");
+        assert_eq!(s.deferred_dropped, 0);
+        c.check_invariants().unwrap();
     }
 }

@@ -1,8 +1,28 @@
 //! One cache shard: real byte storage + a PAMA policy instance for
 //! memory accounting and eviction decisions, plus the live penalty
 //! probe (the paper's GET-miss→SET estimator running online).
+//!
+//! Concurrency model (see DESIGN.md): the mutable state lives in
+//! [`Shard`] behind a [`ShardCell`]'s `RwLock`. A cache-hit GET runs
+//! entirely under the *shared* read lock — hash lookup, key
+//! verification, TTL check, value clone — and records the hit in the
+//! cell's lock-free [`AccessLog`] instead of promoting the entry
+//! inline. Every path that takes the write lock (SET, DELETE, a GET
+//! miss, TTL sweeps, explicit flush) drains the log first, so deferred
+//! promotions are applied in recorded order before any state change.
+//! The read path itself never drains: applying a deferred hit to the
+//! policy costs as much as the inline promotion it replaced, so a
+//! reader-side drain would hand the saved cost right back. Instead the
+//! ring drops (and counts) hits once full — bounded-staleness recency:
+//! eviction and allocation decisions only happen under the write lock,
+//! and by the time one runs, every hit recorded before it (up to ring
+//! capacity) has been applied in order. In a single-threaded sequence
+//! whose read bursts fit the ring, the drained promotions land in
+//! exactly the order and counts the old lock-everything design
+//! produced.
 
-use crate::stats::CacheStats;
+use crate::log::AccessLog;
+use crate::stats::ShardCounters;
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, Tick};
 use pama_core::policy::{Pama, PamaConfig, Policy};
@@ -10,6 +30,13 @@ use pama_faults::BackendSim;
 use pama_trace::penalty::{DEFAULT_PENALTY, PENALTY_CAP};
 use pama_trace::Request;
 use pama_util::{FastMap, SimDuration, SimTime};
+use parking_lot::RwLock;
+
+/// Capacity of each shard's deferred-hit ring: the most promotions the
+/// policy can owe between two write-lock events. A full drain of this
+/// size costs tens of microseconds — long enough to amortize the write
+/// lock, short enough not to stall the writer that triggers it.
+const ACCESS_LOG_CAPACITY: usize = 4096;
 
 /// A stored entry: the full key (for collision rejection), the value,
 /// and the expiry, if any.
@@ -28,10 +55,10 @@ struct Probe {
     miss_at: SimTime,
 }
 
-/// Live per-key penalty knowledge.
-///
-/// Exposed for diagnostics as [`LivePenaltyProbe`]: how many penalties
-/// have been measured and their running mean.
+/// Live per-key penalty knowledge: how many penalties have been
+/// measured and their running mean. The same numbers appear in
+/// [`crate::CacheStats`] as `measured_penalties` /
+/// `mean_measured_penalty_us`; this type names them for diagnostics.
 #[derive(Debug, Default, Clone)]
 pub struct LivePenaltyProbe {
     /// Number of measured (miss→set) samples.
@@ -40,13 +67,22 @@ pub struct LivePenaltyProbe {
     pub mean_us: f64,
 }
 
+/// What an immutable lookup found (drives the lock-upgrade decision).
+enum EntryState {
+    /// Present, key matches, not expired.
+    Live,
+    /// Present and key matches but past its TTL: needs a write lock to
+    /// drop.
+    Expired,
+    /// Absent, or a hash collision with a different key.
+    Absent,
+}
+
 pub(crate) struct Shard {
     policy: Pama,
     entries: FastMap<u64, Entry>,
     estimates: FastMap<u64, SimDuration>,
     probes: FastMap<u64, Probe>,
-    stats: CacheStats,
-    probe: LivePenaltyProbe,
     serial: u64,
     /// Optional simulated backing store. When present, every GET miss
     /// drives a fetch through it — retries, timeouts, and outages
@@ -57,16 +93,19 @@ pub(crate) struct Shard {
 
 impl Shard {
     pub fn new(mut cfg: CacheConfig, pama: PamaConfig) -> Self {
+        // Pre-size the maps from slab geometry: the shard can never
+        // hold more items than total_bytes / min_slot, so reserving
+        // that up front avoids rehash storms during warm-up. Capped so
+        // a huge shard doesn't pay for pathological pre-allocation.
+        let max_items = (cfg.total_bytes / cfg.min_slot.max(1)).min(1 << 18) as usize;
         // The shard drives inserts explicitly through `set`; the
         // policy must never phantom-fill on its own.
         cfg.demand_fill = false;
         Self {
             policy: Pama::with_config(cfg, pama),
-            entries: FastMap::default(),
-            estimates: FastMap::default(),
-            probes: FastMap::default(),
-            stats: CacheStats::default(),
-            probe: LivePenaltyProbe::default(),
+            entries: FastMap::with_capacity_and_hasher(max_items, Default::default()),
+            estimates: FastMap::with_capacity_and_hasher(max_items, Default::default()),
+            probes: FastMap::with_capacity_and_hasher(max_items.min(4096), Default::default()),
             serial: 0,
             backend: None,
         }
@@ -83,18 +122,21 @@ impl Shard {
     }
 
     /// The penalty to attribute to a key on insert.
-    fn penalty_for(&mut self, h: u64, explicit: Option<SimDuration>, now: SimTime) -> SimDuration {
+    fn penalty_for(
+        &mut self,
+        h: u64,
+        explicit: Option<SimDuration>,
+        now: SimTime,
+        c: &ShardCounters,
+    ) -> SimDuration {
         if let Some(p) = explicit {
             return p.min(PENALTY_CAP);
         }
         if let Some(probe) = self.probes.remove(&h) {
             let gap = now.saturating_since(probe.miss_at);
             if gap <= PENALTY_CAP && gap > SimDuration::ZERO {
-                // Fold into the live estimate (EWMA-free mean keeps the
-                // math simple and the probe struct cheap).
-                self.probe.samples += 1;
-                self.probe.mean_us += (gap.as_micros() as f64 - self.probe.mean_us)
-                    / self.probe.samples as f64;
+                ShardCounters::bump(&c.penalty_samples);
+                ShardCounters::add(&c.penalty_sum_us, gap.as_micros());
                 self.estimates.insert(h, gap);
                 return gap;
             }
@@ -107,15 +149,56 @@ impl Shard {
     }
 
     /// Drops an entry from both the store and the policy bookkeeping.
-    fn drop_entry(&mut self, h: u64, now: SimTime) {
-        if self.entries.remove(&h).is_some() {
+    fn drop_entry(&mut self, h: u64, now: SimTime, c: &ShardCounters) {
+        if let Some(e) = self.entries.remove(&h) {
+            ShardCounters::sub(&c.items, 1);
+            ShardCounters::sub(&c.live_bytes, (e.key.len() + e.value.len()) as u64);
             let t = Tick { now, serial: self.serial };
             // Width of the delete request is irrelevant to removal.
             self.policy.on_delete(&Request::delete(now, h, 0), t);
         }
     }
 
-    pub fn get(&mut self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+    /// The shared-lock hit path: lookup, key check, TTL check, value
+    /// clone. No mutation — recency bookkeeping is the caller's job
+    /// (via the access log).
+    pub fn read_hit(&self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+        match self.entries.get(&h) {
+            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => Some(e.value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Immutable classification of a key's state (for `contains`).
+    fn entry_state(&self, h: u64, key: &[u8], now: SimTime) -> EntryState {
+        match self.entries.get(&h) {
+            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => EntryState::Live,
+            Some(e) if e.key.as_ref() == key => EntryState::Expired,
+            _ => EntryState::Absent,
+        }
+    }
+
+    /// Drops the entry if it is still the same key and expired (the
+    /// state may have changed between a read-lock check and the write
+    /// lock this runs under).
+    fn expire_if_dead(&mut self, h: u64, key: &[u8], now: SimTime, c: &ShardCounters) {
+        if let Some(e) = self.entries.get(&h) {
+            if e.key.as_ref() == key && Self::expired(e, now) {
+                self.drop_entry(h, now, c);
+            }
+        }
+    }
+
+    /// The write-lock GET: identical to the pre-concurrency design —
+    /// a hit promotes inline through the policy; a miss (or collision
+    /// or expiry) opens a penalty probe / drives the backend.
+    pub fn get_locked(
+        &mut self,
+        h: u64,
+        key: &[u8],
+        now: SimTime,
+        c: &ShardCounters,
+    ) -> Option<Bytes> {
         let tick = self.tick(now);
         match self.entries.get(&h) {
             Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => {
@@ -125,46 +208,44 @@ impl Shard {
                 let req = Request::get(now, h, key.len() as u32, value.len() as u32);
                 let out = self.policy.on_get(&req, tick);
                 debug_assert!(out.hit, "policy lost a stored key");
-                self.stats.hits += 1;
+                ShardCounters::bump(&c.hits);
                 Some(value)
             }
             Some(_) => {
                 // Hash collision with a different key, or expired: treat
                 // as a miss and make room for the incoming generation.
-                self.drop_entry(h, now);
-                self.miss(h, now);
+                self.drop_entry(h, now, c);
+                self.miss(h, now, c);
                 None
             }
             None => {
-                self.miss(h, now);
+                self.miss(h, now, c);
                 None
             }
         }
     }
 
-    fn miss(&mut self, h: u64, now: SimTime) {
-        self.stats.misses += 1;
+    fn miss(&mut self, h: u64, now: SimTime, c: &ShardCounters) {
+        ShardCounters::bump(&c.misses);
         if let Some(backend) = self.backend.as_mut() {
             let out = backend.fetch(h, self.serial);
-            self.stats.backend_fetches += 1;
-            self.stats.backend_retries += u64::from(out.attempts.saturating_sub(1));
-            self.stats.backend_time_us =
-                self.stats.backend_time_us.saturating_add(out.latency.as_micros());
+            ShardCounters::bump(&c.backend_fetches);
+            ShardCounters::add(&c.backend_retries, u64::from(out.attempts.saturating_sub(1)));
+            ShardCounters::add(&c.backend_time_us, out.latency.as_micros());
             if out.ok {
                 // The fetch cost is the key's regeneration penalty,
                 // observed directly — better than the probe's guess, so
                 // no probe window opens (a wall-clock gap would shadow
                 // the measured latency).
-                self.estimates.insert(h, out.latency.min(PENALTY_CAP));
-                self.probe.samples += 1;
-                self.probe.mean_us += (out.latency.min(PENALTY_CAP).as_micros() as f64
-                    - self.probe.mean_us)
-                    / self.probe.samples as f64;
+                let latency = out.latency.min(PENALTY_CAP);
+                self.estimates.insert(h, latency);
+                ShardCounters::bump(&c.penalty_samples);
+                ShardCounters::add(&c.penalty_sum_us, latency.as_micros());
             } else {
                 // Degraded miss: the backend could not serve. No probe
                 // window opens (a refill SET, if any, is not a
                 // regeneration measurement).
-                self.stats.backend_failures += 1;
+                ShardCounters::bump(&c.backend_failures);
             }
             return;
         }
@@ -183,6 +264,7 @@ impl Shard {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the public set() signature plus shard context
     pub fn set(
         &mut self,
         h: u64,
@@ -191,19 +273,22 @@ impl Shard {
         ttl: Option<SimDuration>,
         explicit_penalty: Option<SimDuration>,
         now: SimTime,
+        c: &ShardCounters,
     ) {
         let tick = self.tick(now);
-        let penalty = self.penalty_for(h, explicit_penalty, now);
+        let penalty = self.penalty_for(h, explicit_penalty, now, c);
         // Replace any previous generation (also resolves collisions in
         // favour of the newest writer).
         if self.entries.contains_key(&h) {
-            self.drop_entry(h, now);
+            self.drop_entry(h, now, c);
         }
         let req = Request::set(now, h, key.len() as u32, value.len() as u32)
             .with_penalty(penalty);
-        self.stats.sets += 1;
+        ShardCounters::bump(&c.sets);
         self.policy.on_set(&req, tick);
         if self.policy.cache().contains(h) {
+            ShardCounters::bump(&c.items);
+            ShardCounters::add(&c.live_bytes, (key.len() + value.len()) as u64);
             self.entries.insert(
                 h,
                 Entry {
@@ -213,53 +298,46 @@ impl Shard {
                 },
             );
             // Mirror policy evictions into the byte store.
-            self.reconcile();
+            self.reconcile(c);
         } else {
-            self.stats.rejected += 1;
+            ShardCounters::bump(&c.rejected);
         }
     }
 
     /// Removes store entries the policy has evicted.
-    fn reconcile(&mut self) {
+    fn reconcile(&mut self, c: &ShardCounters) {
         if self.entries.len() <= self.policy.cache().len() {
             return;
         }
         let policy = &self.policy;
         let mut dropped = 0u64;
-        self.entries.retain(|&h, _| {
+        let mut bytes = 0u64;
+        self.entries.retain(|&h, e| {
             let keep = policy.cache().contains(h);
             if !keep {
                 dropped += 1;
+                bytes += (e.key.len() + e.value.len()) as u64;
             }
             keep
         });
-        self.stats.evictions += dropped;
+        ShardCounters::add(&c.evictions, dropped);
+        ShardCounters::sub(&c.items, dropped);
+        ShardCounters::sub(&c.live_bytes, bytes);
     }
 
-    pub fn delete(&mut self, h: u64, key: &[u8]) -> bool {
+    pub fn delete(&mut self, h: u64, key: &[u8], c: &ShardCounters) -> bool {
         match self.entries.get(&h) {
             Some(e) if e.key.as_ref() == key => {
-                self.stats.deletes += 1;
+                ShardCounters::bump(&c.deletes);
                 let now = SimTime::ZERO; // recency is irrelevant for removal
-                self.drop_entry(h, now);
+                self.drop_entry(h, now, c);
                 true
             }
             _ => false,
         }
     }
 
-    pub fn contains(&mut self, h: u64, key: &[u8], now: SimTime) -> bool {
-        match self.entries.get(&h) {
-            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => true,
-            Some(e) if e.key.as_ref() == key => {
-                self.drop_entry(h, now);
-                false
-            }
-            _ => false,
-        }
-    }
-
-    pub fn sweep_expired(&mut self, now: SimTime) -> usize {
+    pub fn sweep_expired(&mut self, now: SimTime, c: &ShardCounters) -> usize {
         let expired: Vec<u64> = self
             .entries
             .iter()
@@ -267,23 +345,215 @@ impl Shard {
             .map(|(&h, _)| h)
             .collect();
         for h in &expired {
-            self.drop_entry(*h, now);
+            self.drop_entry(*h, now, c);
         }
-        self.stats.expired += expired.len() as u64;
+        ShardCounters::add(&c.expired, expired.len() as u64);
         expired.len()
     }
 
-    pub fn stats(&self) -> CacheStats {
-        let mut s = self.stats.clone();
-        s.items = self.entries.len() as u64;
-        s.live_bytes = self
-            .entries
-            .values()
-            .map(|e| (e.key.len() + e.value.len()) as u64)
-            .sum();
-        s.measured_penalties = self.probe.samples;
-        s.mean_measured_penalty_us = self.probe.mean_us;
+    /// Applies a batch of deferred hit records, oldest first. Each
+    /// record counts as one access (serial and PAMA value-window
+    /// cadence match the inline design); keys evicted since the hit
+    /// are skipped by the policy.
+    pub fn apply_deferred(&mut self, hits: &[u64], now: SimTime, c: &ShardCounters) {
+        self.serial += hits.len() as u64;
+        let tick = Tick { now, serial: self.serial };
+        self.policy.on_batch_access(hits, tick);
+        ShardCounters::add(&c.deferred_hits, hits.len() as u64);
+    }
+
+    /// Cross-checks the byte store against the policy's accounting.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.entries.len() != self.policy.cache().len() {
+            return Err(format!(
+                "store/policy divergence: {} entries vs {} policy items",
+                self.entries.len(),
+                self.policy.cache().len()
+            ));
+        }
+        self.policy.cache().check_invariants()
+    }
+}
+
+/// A shard plus its lock, deferred-hit log, and atomic counters — the
+/// unit `PamaCache` holds one of per shard.
+pub(crate) struct ShardCell {
+    inner: RwLock<Shard>,
+    log: AccessLog,
+    counters: ShardCounters,
+    /// Benchmark baseline: route every operation (GETs included)
+    /// through the write lock with inline promotion, reproducing the
+    /// pre-concurrency exclusive-Mutex design.
+    exclusive: bool,
+}
+
+impl ShardCell {
+    pub fn new(shard: Shard, exclusive: bool) -> Self {
+        Self {
+            inner: RwLock::new(shard),
+            log: AccessLog::new(ACCESS_LOG_CAPACITY),
+            counters: ShardCounters::default(),
+            exclusive,
+        }
+    }
+
+    /// Drains the log into the locked shard. Called with the write
+    /// lock held, before any mutation, so deferred promotions are
+    /// applied in recorded order ahead of the new operation.
+    fn drain_into(&self, shard: &mut Shard, now: SimTime) {
+        if self.log.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(self.log.len() + 8);
+        self.log.drain_into(&mut buf);
+        if !buf.is_empty() {
+            shard.apply_deferred(&buf, now, &self.counters);
+        }
+    }
+
+    /// Unconditional drain (SET/DELETE/miss paths and explicit flush).
+    pub fn flush(&self, now: SimTime) {
+        let mut shard = self.inner.write();
+        self.drain_into(&mut shard, now);
+    }
+
+    pub fn get(&self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+        if !self.exclusive {
+            let shard = self.inner.read();
+            if let Some(value) = shard.read_hit(h, key, now) {
+                ShardCounters::bump(&self.counters.hits);
+                self.log.record(h);
+                return Some(value);
+            }
+        }
+        // Miss / collision / expiry — or exclusive mode: full path
+        // under the write lock.
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.get_locked(h, key, now, &self.counters)
+    }
+
+    pub fn set(
+        &self,
+        h: u64,
+        key: &[u8],
+        value: &[u8],
+        ttl: Option<SimDuration>,
+        explicit_penalty: Option<SimDuration>,
+        now: SimTime,
+    ) {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.set(h, key, value, ttl, explicit_penalty, now, &self.counters);
+    }
+
+    pub fn delete(&self, h: u64, key: &[u8], now: SimTime) -> bool {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.delete(h, key, &self.counters)
+    }
+
+    pub fn contains(&self, h: u64, key: &[u8], now: SimTime) -> bool {
+        let shard = self.inner.read();
+        match shard.entry_state(h, key, now) {
+            EntryState::Live => true,
+            EntryState::Absent => false,
+            EntryState::Expired => {
+                drop(shard);
+                let mut shard = self.inner.write();
+                if !self.exclusive {
+                    self.drain_into(&mut shard, now);
+                }
+                shard.expire_if_dead(h, key, now, &self.counters);
+                false
+            }
+        }
+    }
+
+    pub fn sweep_expired(&self, now: SimTime) -> usize {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.sweep_expired(now, &self.counters)
+    }
+
+    /// Batched GET for keys mapping to this shard: one read-lock pass
+    /// serves every hit; a single write-lock pass (if needed) handles
+    /// the misses.
+    pub fn multi_get_group(
+        &self,
+        group: &[(usize, u64)],
+        keys: &[&[u8]],
+        out: &mut [Option<Bytes>],
+        now: SimTime,
+    ) {
+        if self.exclusive {
+            let mut shard = self.inner.write();
+            for &(i, h) in group {
+                out[i] = shard.get_locked(h, keys[i], now, &self.counters);
+            }
+            return;
+        }
+        let mut misses: Vec<(usize, u64)> = Vec::new();
+        {
+            let shard = self.inner.read();
+            for &(i, h) in group {
+                match shard.read_hit(h, keys[i], now) {
+                    Some(value) => {
+                        ShardCounters::bump(&self.counters.hits);
+                        self.log.record(h);
+                        out[i] = Some(value);
+                    }
+                    None => misses.push((i, h)),
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let mut shard = self.inner.write();
+            self.drain_into(&mut shard, now);
+            for (i, h) in misses {
+                out[i] = shard.get_locked(h, keys[i], now, &self.counters);
+            }
+        }
+    }
+
+    /// Batched SET for items mapping to this shard: one write-lock
+    /// take for the whole group.
+    pub fn multi_set_group(
+        &self,
+        group: &[(usize, u64)],
+        items: &[(&[u8], &[u8])],
+        ttl: Option<SimDuration>,
+        now: SimTime,
+    ) {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        for &(i, h) in group {
+            let (key, value) = items[i];
+            shard.set(h, key, value, ttl, None, now, &self.counters);
+        }
+    }
+
+    pub fn stats(&self) -> crate::stats::CacheStats {
+        let mut s = self.counters.snapshot();
+        s.deferred_dropped = self.log.dropped();
         s
+    }
+
+    /// Flushes, then cross-checks store vs policy accounting.
+    pub fn check_consistency(&self, now: SimTime) -> Result<(), String> {
+        let mut shard = self.inner.write();
+        self.drain_into(&mut shard, now);
+        shard.check_consistency()
     }
 }
 
@@ -307,11 +577,12 @@ mod tests {
     #[test]
     fn live_penalty_probe_measures_gap() {
         let mut s = shard();
+        let c = ShardCounters::default();
         // miss at t=100ms, refill at t=180ms → 80ms penalty measured
-        assert!(s.get(1, b"k", t(100)).is_none());
-        s.set(1, b"k", b"v", None, None, t(180));
+        assert!(s.get_locked(1, b"k", t(100), &c).is_none());
+        s.set(1, b"k", b"v", None, None, t(180), &c);
         assert_eq!(s.estimates.get(&1).copied(), Some(SimDuration::from_millis(80)));
-        let st = s.stats();
+        let st = c.snapshot();
         assert_eq!(st.measured_penalties, 1);
         assert!((st.mean_measured_penalty_us - 80_000.0).abs() < 1.0);
         // The stored item's penalty band reflects the measurement.
@@ -322,8 +593,9 @@ mod tests {
     #[test]
     fn explicit_penalty_wins_over_probe() {
         let mut s = shard();
-        assert!(s.get(2, b"k2", t(0)).is_none());
-        s.set(2, b"k2", b"v", None, Some(SimDuration::from_secs(2)), t(50));
+        let c = ShardCounters::default();
+        assert!(s.get_locked(2, b"k2", t(0), &c).is_none());
+        s.set(2, b"k2", b"v", None, Some(SimDuration::from_secs(2)), t(50), &c);
         let meta = s.policy.cache().peek(2).unwrap();
         assert_eq!(meta.penalty, SimDuration::from_secs(2));
     }
@@ -331,8 +603,9 @@ mod tests {
     #[test]
     fn over_cap_gap_falls_back_to_default() {
         let mut s = shard();
-        assert!(s.get(3, b"k3", t(0)).is_none());
-        s.set(3, b"k3", b"v", None, None, t(10_000)); // 10 s gap > cap
+        let c = ShardCounters::default();
+        assert!(s.get_locked(3, b"k3", t(0), &c).is_none());
+        s.set(3, b"k3", b"v", None, None, t(10_000), &c); // 10 s gap > cap
         let meta = s.policy.cache().peek(3).unwrap();
         assert_eq!(meta.penalty, DEFAULT_PENALTY);
     }
@@ -340,37 +613,89 @@ mod tests {
     #[test]
     fn ttl_expiry_is_lazy_and_sweepable() {
         let mut s = shard();
-        s.set(4, b"k4", b"v", Some(SimDuration::from_millis(100)), None, t(0));
-        assert!(s.contains(4, b"k4", t(50)));
-        assert!(!s.contains(4, b"k4", t(150)), "expired entry still visible");
+        let c = ShardCounters::default();
+        s.set(4, b"k4", b"v", Some(SimDuration::from_millis(100)), None, t(0), &c);
+        assert!(matches!(s.entry_state(4, b"k4", t(50)), EntryState::Live));
+        assert!(
+            matches!(s.entry_state(4, b"k4", t(150)), EntryState::Expired),
+            "expired entry still reported live"
+        );
+        s.expire_if_dead(4, b"k4", t(150), &c);
+        assert!(matches!(s.entry_state(4, b"k4", t(150)), EntryState::Absent));
         // sweep path
-        s.set(5, b"k5", b"v", Some(SimDuration::from_millis(10)), None, t(200));
-        assert_eq!(s.sweep_expired(t(500)), 1);
-        assert_eq!(s.stats().expired, 1);
+        s.set(5, b"k5", b"v", Some(SimDuration::from_millis(10)), None, t(200), &c);
+        assert_eq!(s.sweep_expired(t(500), &c), 1);
+        assert_eq!(c.snapshot().expired, 1);
     }
 
     #[test]
     fn collision_resolves_to_newest_writer() {
         let mut s = shard();
-        s.set(7, b"first", b"A", None, None, t(0));
+        let c = ShardCounters::default();
+        s.set(7, b"first", b"A", None, None, t(0), &c);
         // same hash, different key bytes: treated as miss, then overwritten
-        assert!(s.get(7, b"second", t(1)).is_none());
-        s.set(7, b"second", b"B", None, None, t(2));
-        assert_eq!(s.get(7, b"second", t(3)).as_deref(), Some(&b"B"[..]));
-        assert!(s.get(7, b"first", t(4)).is_none());
+        assert!(s.get_locked(7, b"second", t(1), &c).is_none());
+        s.set(7, b"second", b"B", None, None, t(2), &c);
+        assert_eq!(s.get_locked(7, b"second", t(3), &c).as_deref(), Some(&b"B"[..]));
+        assert!(s.get_locked(7, b"first", t(4), &c).is_none());
+        // collisions never reach the read-hit fast path either
+        assert!(s.read_hit(7, b"first", t(5)).is_none());
     }
 
     #[test]
     fn reconcile_drops_policy_evictions() {
         let mut s = shard();
+        let c = ShardCounters::default();
         let v = vec![0u8; 30_000];
         for i in 0..200u64 {
-            s.set(i, format!("key{i}").as_bytes(), &v, None, None, t(i));
+            s.set(i, format!("key{i}").as_bytes(), &v, None, None, t(i), &c);
         }
-        let st = s.stats();
+        let st = c.snapshot();
         assert!(st.items < 40, "1 MiB can't hold 200×30 KB: items {}", st.items);
         assert!(st.evictions > 0);
-        // store and policy agree exactly
+        // store and policy agree exactly, incremental counters included
         assert_eq!(st.items as usize, s.policy.cache().len());
+        assert_eq!(st.items as usize, s.entries.len());
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn deferred_hits_promote_like_inline_gets() {
+        // Two shards with identical geometry: one promotes inline on
+        // every GET, the other records hits and applies them in one
+        // batch. After the drain, LRU order (and thus the eviction
+        // victim) must match.
+        let mut inline = shard();
+        let mut deferred = shard();
+        let ci = ShardCounters::default();
+        let cd = ShardCounters::default();
+        let v = vec![0u8; 100];
+        for i in 0..8u64 {
+            inline.set(i, format!("k{i}").as_bytes(), &v, None, None, t(i), &ci);
+            deferred.set(i, format!("k{i}").as_bytes(), &v, None, None, t(i), &cd);
+        }
+        // Touch keys 0..4 (oldest first) — inline promotes immediately.
+        for i in 0..4u64 {
+            assert!(inline.get_locked(i, format!("k{i}").as_bytes(), t(100 + i), &ci).is_some());
+            assert!(deferred.read_hit(i, format!("k{i}").as_bytes(), t(100 + i)).is_some());
+        }
+        deferred.apply_deferred(&[0, 1, 2, 3], t(104), &cd);
+        // Same serial consumed, same access count.
+        assert_eq!(inline.serial, deferred.serial);
+        // Same LRU state: evict pressure must pick the same victims.
+        let fill = vec![0u8; 100];
+        for i in 100..1200u64 {
+            inline.set(i, format!("f{i}").as_bytes(), &fill, None, None, t(200 + i), &ci);
+            deferred.set(i, format!("f{i}").as_bytes(), &fill, None, None, t(200 + i), &cd);
+        }
+        for i in 0..8u64 {
+            assert_eq!(
+                inline.policy.cache().contains(i),
+                deferred.policy.cache().contains(i),
+                "key {i} diverged between inline and deferred promotion"
+            );
+        }
+        inline.check_consistency().unwrap();
+        deferred.check_consistency().unwrap();
     }
 }

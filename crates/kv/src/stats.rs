@@ -1,5 +1,12 @@
 //! Cache-wide statistics.
+//!
+//! Each shard maintains a [`ShardCounters`] block of atomics, updated
+//! with `Relaxed` operations from whichever thread holds (or, for the
+//! read path, does not hold) the shard lock. [`crate::PamaCache::stats`]
+//! snapshots them without locking, so a stats poller never stalls
+//! writers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters reported by [`crate::PamaCache::stats`]. All counters are
 /// cumulative since cache creation except `items` / `live_bytes`
@@ -39,6 +46,13 @@ pub struct CacheStats {
     pub backend_failures: u64,
     /// Total simulated time spent in backend fetches, µs.
     pub backend_time_us: u64,
+    /// Read-path hits whose LRU/policy bookkeeping was applied later
+    /// from the deferred access log (0 in exclusive-lock mode, where
+    /// promotion is inline).
+    pub deferred_hits: u64,
+    /// Read-path hit records discarded because the access log was full;
+    /// each costs one recency refresh, never correctness.
+    pub deferred_dropped: u64,
 }
 
 impl CacheStats {
@@ -76,6 +90,80 @@ impl CacheStats {
         self.backend_retries += other.backend_retries;
         self.backend_failures += other.backend_failures;
         self.backend_time_us = self.backend_time_us.saturating_add(other.backend_time_us);
+        self.deferred_hits += other.deferred_hits;
+        self.deferred_dropped += other.deferred_dropped;
+    }
+}
+
+/// Per-shard live counters. `items` and `live_bytes` are maintained
+/// incrementally at every insert/remove so a snapshot never has to walk
+/// the entry map; the penalty mean is kept as (sum, count) so it can be
+/// read atomically piecewise.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub sets: AtomicU64,
+    pub deletes: AtomicU64,
+    pub evictions: AtomicU64,
+    pub expired: AtomicU64,
+    pub rejected: AtomicU64,
+    pub items: AtomicU64,
+    pub live_bytes: AtomicU64,
+    pub penalty_samples: AtomicU64,
+    pub penalty_sum_us: AtomicU64,
+    pub backend_fetches: AtomicU64,
+    pub backend_retries: AtomicU64,
+    pub backend_failures: AtomicU64,
+    pub backend_time_us: AtomicU64,
+    pub deferred_hits: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Point-in-time snapshot via `Relaxed` loads. Individually each
+    /// counter is exact; cross-counter consistency is best-effort,
+    /// which is the usual contract for live cache stats.
+    pub fn snapshot(&self) -> CacheStats {
+        let samples = self.penalty_samples.load(Ordering::Relaxed);
+        let sum_us = self.penalty_sum_us.load(Ordering::Relaxed);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            measured_penalties: samples,
+            mean_measured_penalty_us: if samples == 0 {
+                0.0
+            } else {
+                sum_us as f64 / samples as f64
+            },
+            backend_fetches: self.backend_fetches.load(Ordering::Relaxed),
+            backend_retries: self.backend_retries.load(Ordering::Relaxed),
+            backend_failures: self.backend_failures.load(Ordering::Relaxed),
+            backend_time_us: self.backend_time_us.load(Ordering::Relaxed),
+            deferred_hits: self.deferred_hits.load(Ordering::Relaxed),
+            deferred_dropped: 0, // owned by the access log; the cell fills it in
+        }
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
     }
 }
 
@@ -107,6 +195,8 @@ mod tests {
             items: 7,
             measured_penalties: 6,
             mean_measured_penalty_us: 300.0,
+            deferred_hits: 5,
+            deferred_dropped: 1,
             ..CacheStats::default()
         };
         a.merge(&b);
@@ -114,6 +204,8 @@ mod tests {
         assert_eq!(a.misses, 6);
         assert_eq!(a.items, 7);
         assert_eq!(a.measured_penalties, 8);
+        assert_eq!(a.deferred_hits, 5);
+        assert_eq!(a.deferred_dropped, 1);
         // (2·100 + 6·300)/8 = 250
         assert!((a.mean_measured_penalty_us - 250.0).abs() < 1e-9);
     }
@@ -127,5 +219,21 @@ mod tests {
         };
         a.merge(&CacheStats::default());
         assert_eq!(a.measured_penalties, 0);
+    }
+
+    #[test]
+    fn counters_snapshot_matches_updates() {
+        let c = ShardCounters::default();
+        ShardCounters::bump(&c.hits);
+        ShardCounters::bump(&c.hits);
+        ShardCounters::add(&c.items, 3);
+        ShardCounters::sub(&c.items, 1);
+        ShardCounters::add(&c.penalty_samples, 2);
+        ShardCounters::add(&c.penalty_sum_us, 300);
+        let s = c.snapshot();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.items, 2);
+        assert_eq!(s.measured_penalties, 2);
+        assert!((s.mean_measured_penalty_us - 150.0).abs() < 1e-9);
     }
 }

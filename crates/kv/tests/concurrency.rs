@@ -1,0 +1,133 @@
+//! Multi-threaded oracle tests for the read-mostly cache: the batched
+//! APIs must be observationally equivalent to the single-key ones, and
+//! concurrent use must converge to the sequential outcome.
+
+use pama_kv::{CacheBuilder, PamaCache};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Geometry with no eviction pressure for the key counts used here, so
+/// equivalence can be asserted exactly (every write must survive).
+fn roomy(shards: usize) -> PamaCache {
+    CacheBuilder::new()
+        .total_bytes(16 << 20)
+        .slab_bytes(64 << 10)
+        .shards(shards)
+        .build()
+}
+
+#[test]
+fn batched_ops_match_sequential_ops() {
+    let seq = roomy(4);
+    let bat = roomy(4);
+    let keys: Vec<Vec<u8>> = (0..512u32).map(|i| format!("key-{i}").into_bytes()).collect();
+    let vals: Vec<Vec<u8>> = (0..512u32).map(|i| format!("val-{i}").into_bytes()).collect();
+
+    // Writes: one at a time vs shard-grouped batches of 64.
+    for (k, v) in keys.iter().zip(&vals) {
+        seq.set(k, v, None);
+    }
+    for (kc, vc) in keys.chunks(64).zip(vals.chunks(64)) {
+        let items: Vec<(&[u8], &[u8])> =
+            kc.iter().zip(vc).map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        bat.multi_set(&items, None);
+    }
+
+    // Reads: 512 present keys + 64 absent ones, singly vs in batches.
+    let probe: Vec<Vec<u8>> = (0..576u32).map(|i| format!("key-{i}").into_bytes()).collect();
+    let single: Vec<Option<bytes::Bytes>> = probe.iter().map(|k| seq.get(k)).collect();
+    let mut batched = Vec::new();
+    for chunk in probe.chunks(64) {
+        let refs: Vec<&[u8]> = chunk.iter().map(|k| k.as_slice()).collect();
+        batched.extend(bat.multi_get(&refs));
+    }
+    assert_eq!(single, batched, "multi_get diverged from get");
+
+    let (ss, bs) = (seq.stats(), bat.stats());
+    assert_eq!(ss.sets, bs.sets);
+    assert_eq!(ss.items, bs.items);
+    assert_eq!(ss.hits, bs.hits);
+    assert_eq!(ss.misses, bs.misses);
+    for k in &probe {
+        assert_eq!(seq.contains(k), bat.contains(k));
+    }
+    seq.check_invariants().unwrap();
+    bat.check_invariants().unwrap();
+}
+
+#[test]
+fn concurrent_writers_and_readers_converge_to_sequential_state() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 3;
+    const PER_WRITER: usize = 300;
+
+    let cache = roomy(4);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let cache = &cache;
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    let key = format!("w{t}-{i}");
+                    let val = format!("v{t}-{i}");
+                    cache.set(key.as_bytes(), val.as_bytes(), None);
+                }
+            });
+        }
+        for r in 0..READERS {
+            let cache = &cache;
+            let done = &done;
+            s.spawn(move || {
+                // Readers hammer multi_get over a rotating window of
+                // keys; every value seen must be the one its writer
+                // wrote (never foreign, never torn).
+                let mut round = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let owned: Vec<Vec<u8>> = (0..32)
+                        .map(|j| format!("w{}-{}", (r + j) % WRITERS, (round + j) % PER_WRITER))
+                        .map(String::into_bytes)
+                        .collect();
+                    let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+                    for (k, v) in owned.iter().zip(cache.multi_get(&refs)) {
+                        if let Some(v) = v {
+                            let expect = String::from_utf8_lossy(k).replacen('w', "v", 1);
+                            assert_eq!(v.as_ref(), expect.as_bytes(), "foreign value for key");
+                        }
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Writer handles finish when the scope's non-reader spawns do;
+        // signal readers once all writes are visible.
+        while cache.stats().sets < (WRITERS * PER_WRITER) as u64 {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    cache.flush();
+    let s = cache.stats();
+    assert_eq!(s.sets, (WRITERS * PER_WRITER) as u64);
+    assert_eq!(s.items, (WRITERS * PER_WRITER) as u64, "a write was lost");
+    // The sequential oracle: the same writes applied on one thread.
+    let oracle = roomy(4);
+    for t in 0..WRITERS {
+        for i in 0..PER_WRITER {
+            oracle.set(format!("w{t}-{i}").as_bytes(), format!("v{t}-{i}").as_bytes(), None);
+        }
+    }
+    for t in 0..WRITERS {
+        for i in 0..PER_WRITER {
+            let key = format!("w{t}-{i}");
+            let expect = format!("v{t}-{i}");
+            assert_eq!(
+                cache.get(key.as_bytes()).as_deref(),
+                Some(expect.as_bytes()),
+                "key {key} lost or corrupted"
+            );
+            assert_eq!(oracle.get(key.as_bytes()).as_deref(), Some(expect.as_bytes()));
+        }
+    }
+    cache.check_invariants().unwrap();
+    oracle.check_invariants().unwrap();
+}

@@ -25,6 +25,29 @@ fn key_bytes(k: u8) -> Vec<u8> {
     format!("key-{k:03}").into_bytes()
 }
 
+#[derive(Debug, Clone)]
+enum DeferredOp {
+    Set { key: u8, len: u16 },
+    Get { key: u8 },
+    MultiGet { keys: Vec<u8> },
+    MultiSet { keys: Vec<u8>, len: u16 },
+    Delete { key: u8 },
+    Flush,
+}
+
+fn deferred_op() -> impl Strategy<Value = DeferredOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u16..2000).prop_map(|(key, len)| DeferredOp::Set { key, len }),
+        4 => any::<u8>().prop_map(|key| DeferredOp::Get { key }),
+        2 => prop::collection::vec(any::<u8>(), 1..20)
+            .prop_map(|keys| DeferredOp::MultiGet { keys }),
+        2 => (prop::collection::vec(any::<u8>(), 1..12), 1u16..1500)
+            .prop_map(|(keys, len)| DeferredOp::MultiSet { keys, len }),
+        1 => any::<u8>().prop_map(|key| DeferredOp::Delete { key }),
+        1 => Just(DeferredOp::Flush),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -111,6 +134,78 @@ proptest! {
             }
         }
         prop_assert_eq!(s.items, items);
+    }
+
+    /// Log-deferred promotion never loses an entry or double-frees a
+    /// slot: under arbitrary op sequences with flushes at arbitrary
+    /// points (forcing batched drains of the deferred-hit log), every
+    /// GET still returns the last-written value, the policy's slot
+    /// accounting stays internally consistent, and the byte store
+    /// agrees with the policy item-for-item.
+    #[test]
+    fn deferred_promotion_never_loses_entries_or_slots(
+        ops in prop::collection::vec(deferred_op(), 1..300)
+    ) {
+        let cache = CacheBuilder::new()
+            .total_bytes(256 << 10)
+            .slab_bytes(16 << 10)
+            .shards(2)
+            .build();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                DeferredOp::Set { key, len } => {
+                    let value = vec![key; usize::from(len)];
+                    cache.set(&key_bytes(key), &value, None);
+                    model.insert(key, value);
+                }
+                DeferredOp::Get { key } => {
+                    if let Some(got) = cache.get(&key_bytes(key)) {
+                        let expect = model.get(&key);
+                        prop_assert!(expect.is_some(), "key {} returned after delete", key);
+                        prop_assert_eq!(got.as_ref(), &expect.unwrap()[..]);
+                    }
+                }
+                DeferredOp::MultiGet { keys } => {
+                    let owned: Vec<Vec<u8>> = keys.iter().map(|&k| key_bytes(k)).collect();
+                    let refs: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
+                    for (&k, got) in keys.iter().zip(cache.multi_get(&refs)) {
+                        if let Some(got) = got {
+                            let expect = model.get(&k);
+                            prop_assert!(expect.is_some(), "key {} returned after delete", k);
+                            prop_assert_eq!(got.as_ref(), &expect.unwrap()[..]);
+                        }
+                    }
+                }
+                DeferredOp::MultiSet { keys, len } => {
+                    let value = vec![0xAB; usize::from(len)];
+                    let owned: Vec<Vec<u8>> = keys.iter().map(|&k| key_bytes(k)).collect();
+                    let items: Vec<(&[u8], &[u8])> =
+                        owned.iter().map(|k| (k.as_slice(), &value[..])).collect();
+                    cache.multi_set(&items, None);
+                    for &k in &keys {
+                        model.insert(k, value.clone());
+                    }
+                }
+                DeferredOp::Delete { key } => {
+                    cache.delete(&key_bytes(key));
+                    model.remove(&key);
+                }
+                DeferredOp::Flush => cache.flush(),
+            }
+            // The store/policy cross-check is the "no lost entry, no
+            // double-freed slot" oracle; run it mid-sequence so a
+            // transient divergence can't heal before the end.
+            cache.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Item accounting survives the whole sequence.
+        let mut items = 0u64;
+        for k in 0u8..=255 {
+            if cache.contains(&key_bytes(k)) {
+                items += 1;
+            }
+        }
+        prop_assert_eq!(cache.stats().items, items);
     }
 
     /// TTL: entries never outlive their TTL as observed through `get`.

@@ -35,6 +35,16 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires the lock only if it is free right now. Ignores
+    /// poisoning.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -72,6 +82,28 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Acquires shared read access only if no writer holds or awaits
+    /// the lock right now. Ignores poisoning.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquires exclusive write access only if the lock is entirely
+    /// free right now — the opportunistic flush path of `pama-kv` uses
+    /// this so readers never block each other on log drains. Ignores
+    /// poisoning.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +138,30 @@ mod tests {
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
         assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_variants_report_contention() {
+        let m = Mutex::new(5);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().unwrap(), 5);
+
+        let l = RwLock::new(1);
+        {
+            let _w = l.write();
+            assert!(l.try_write().is_none());
+            assert!(l.try_read().is_none());
+        }
+        {
+            let _r = l.read();
+            assert!(l.try_write().is_none());
+            // another reader is fine
+            assert_eq!(*l.try_read().unwrap(), 1);
+        }
+        *l.try_write().unwrap() += 1;
+        assert_eq!(*l.read(), 2);
     }
 }

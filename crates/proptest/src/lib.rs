@@ -603,6 +603,7 @@ macro_rules! __proptest_items {
                     );
                 }
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
                 let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 match outcome {
@@ -711,7 +712,7 @@ mod tests {
     use crate::prelude::*;
 
     fn parity(n: u64) -> bool {
-        n % 2 == 0
+        n.is_multiple_of(2)
     }
 
     proptest! {
@@ -726,13 +727,13 @@ mod tests {
         fn tuples_and_maps_compose(
             (a, b) in (0u64..100, 1u64..4).prop_map(|(a, b)| (a * b, b)),
         ) {
-            prop_assert!(b >= 1 && b < 4);
+            prop_assert!((1..4).contains(&b));
             prop_assert_eq!(a % b, 0);
         }
 
         #[test]
         fn oneof_hits_every_weighted_arm(v in prop::collection::vec(
-            prop_oneof![2 => Just(1u8), 1 => Just(2u8), 1 => (3u8..5)], 200..201)
+            prop_oneof![2 => Just(1u8), 1 => Just(2u8), 1 => 3u8..5], 200..201)
         ) {
             prop_assert!(v.iter().all(|&x| (1..5).contains(&x)));
             // 200 draws across arms with weights 2/1/1: each arm appears.

@@ -156,6 +156,46 @@ pub const fn hash_u64(key: u64, seed: u64) -> u64 {
     mix13(key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
+/// Single-pass seeded byte hasher with full avalanche, for hashing raw
+/// cache keys.
+///
+/// One walk over the input folds each 8-byte word FxHash-style into a
+/// seed-and-length-initialised state (so `"ab"` and `"ab\0"` differ),
+/// and the [`mix13`] finalizer spreads every input bit across all 64
+/// output bits. `pama-kv` derives both the shard index and the
+/// in-shard map key from this one value; its predecessor folded the
+/// bytes and then re-mixed in a second pass (`fold_key` → `hash_u64`),
+/// which the `hashing` micro bench shows this single pass matches.
+#[inline]
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    // The length enters through its own fold round, not a bare xor:
+    // short keys get only one multiply round per word, and a linear
+    // length contribution lets structured same-prefix keys of different
+    // lengths engineer cross-length collisions (observed with
+    // `key-{i}` style keys in the test suite).
+    // Each word round ends with an xor-shift: `wrapping_mul` never
+    // propagates a difference downward, so without it a difference in a
+    // word's top byte stays confined to the state's top byte, where the
+    // next word's low bytes (after the rotate) can cancel it — measured
+    // as mass collisions between `key-104x9` / `key-104y6` style keys.
+    let fold = |state: u64, word: u64| {
+        let s = (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        s ^ (s >> 29)
+    };
+    let mut state = fold(seed, bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        state = fold(state, u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        state = fold(state, u64::from_le_bytes(buf));
+    }
+    mix13(state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +271,57 @@ mod tests {
         assert_eq!(m.get(&500), Some(&1000));
         m.remove(&500);
         assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn hash_bytes_is_deterministic_and_seeded() {
+        assert_eq!(hash_bytes(b"user:42", 7), hash_bytes(b"user:42", 7));
+        assert_ne!(hash_bytes(b"user:42", 7), hash_bytes(b"user:42", 8));
+        assert_ne!(hash_bytes(b"user:42", 7), hash_bytes(b"user:43", 7));
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_length_and_padding() {
+        // The zero-padded tail must not collide with explicit zeros,
+        // nor a prefix with its extension.
+        assert_ne!(hash_bytes(b"ab", 1), hash_bytes(b"ab\0", 1));
+        assert_ne!(hash_bytes(b"", 1), hash_bytes(b"\0", 1));
+        let bytes: Vec<u8> = (0u8..32).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=bytes.len() {
+            assert!(seen.insert(hash_bytes(&bytes[..len], 3)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn hash_bytes_no_collisions_over_formatted_keys() {
+        // The shard router consumes every output bit; sequential
+        // human-readable keys must spread without collisions.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50_000u32 {
+            assert!(seen.insert(hash_bytes(format!("key-{i}").as_bytes(), 0)));
+        }
+    }
+
+    #[test]
+    fn hash_bytes_all_bit_regions_are_usable() {
+        // Both the top and bottom 16 bits must look uniform: the kv
+        // shard router folds all 64 bits into a shard index.
+        let mut top = [0u32; 16];
+        let mut bot = [0u32; 16];
+        let n = 16_000u32;
+        for i in 0..n {
+            let h = hash_bytes(format!("k{i}").as_bytes(), 42);
+            top[(h >> 60) as usize] += 1;
+            bot[(h & 0xf) as usize] += 1;
+        }
+        let expect = n / 16;
+        for bucket in top.iter().chain(bot.iter()) {
+            assert!(
+                (*bucket as f64) > expect as f64 * 0.8 && (*bucket as f64) < expect as f64 * 1.2,
+                "skewed bucket: {bucket} vs {expect}"
+            );
+        }
     }
 
     #[test]
