@@ -147,12 +147,9 @@ fn ablation_bloom_vs_exact(c: &mut Criterion) {
     g.bench_function("bloom_vs_exact", |b| {
         b.iter(|| {
             let setup = mini_etc();
-            black_box(run_matrix(
-                &setup,
-                &[SchemeKind::Pama, SchemeKind::PamaBloom],
-                1,
-                |s| Box::new(s.workload().build().take(s.requests)),
-            ))
+            black_box(run_matrix(&setup, &[SchemeKind::Pama, SchemeKind::PamaBloom], 1, |s| {
+                Box::new(s.workload().build().take(s.requests))
+            }))
         })
     });
     g.finish();

@@ -118,11 +118,8 @@ fn bench_engine(c: &mut Criterion) {
     let n = 200_000usize;
     g.throughput(Throughput::Elements(n as u64));
     g.sample_size(10);
-    let cache = CacheConfig {
-        total_bytes: 16 << 20,
-        slab_bytes: 256 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 16 << 20, slab_bytes: 256 << 10, ..CacheConfig::default() };
     let run = |policy: Box<dyn Policy + Send>| {
         let wl = Preset::Etc.config(60_000, 9);
         let ecfg = EngineConfig { window_gets: 100_000, snapshot_allocations: false };
@@ -145,11 +142,8 @@ fn bench_policy_decision(c: &mut Criterion) {
     // the number a production adopter cares about.
     let mut g = c.benchmark_group("pama_request_cost");
     g.throughput(Throughput::Elements(1));
-    let cache = CacheConfig {
-        total_bytes: 8 << 20,
-        slab_bytes: 128 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 8 << 20, slab_bytes: 128 << 10, ..CacheConfig::default() };
     let mut p = Pama::new(cache);
     let mut wl = Preset::Etc.config(60_000, 10).build();
     // warm up
@@ -188,11 +182,8 @@ fn bench_kv_cache(c: &mut Criterion) {
     use pama_kv::CacheBuilder;
     let mut g = c.benchmark_group("pama_kv");
     g.throughput(Throughput::Elements(1));
-    let cache = CacheBuilder::new()
-        .total_bytes(32 << 20)
-        .slab_bytes(256 << 10)
-        .shards(4)
-        .build();
+    let cache =
+        CacheBuilder::new().total_bytes(32 << 20).slab_bytes(256 << 10).shards(4).build();
     // Preload a working set.
     let keys: Vec<Vec<u8>> =
         (0..20_000u32).map(|i| format!("bench-key-{i}").into_bytes()).collect();

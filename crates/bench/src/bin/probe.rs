@@ -1,12 +1,89 @@
 //! Developer diagnostic: per-window internals of one policy on the
 //! smoke workload (migrations, cache fill, per-class slabs). Not part
 //! of the figure suite.
+//!
+//! `--kv` switches from the simulator to the physical `pama-kv` cache
+//! and reports the slab-arena ledger every window — slabs per class,
+//! occupancy histogram, internal fragmentation, and cumulative slab
+//! transfers / slot moves — so an operator can watch PAMA relocation
+//! move real memory, not just slot counts.
 
 use pama_bench::harness::ScaledSetup;
 use pama_core::config::{EngineConfig, Tick};
 use pama_core::policy::{Pama, PamaConfig, Policy, Psa};
 use pama_trace::Op;
+use pama_util::SimDuration;
 use pama_workloads::Preset;
+
+/// Replays the workload through the physical kv cache and prints one
+/// slab-ledger line per window of `window_gets` GETs.
+fn run_kv(setup: &ScaledSetup, pcfg: PamaConfig) {
+    let cache = pama_kv::CacheBuilder::new()
+        .total_bytes(setup.cache_sizes[0] as u64)
+        .slab_bytes(setup.slab_bytes as u64)
+        .shards(1)
+        .pama(pcfg)
+        .build();
+    let payload = vec![0xAB_u8; 1 << 20];
+    let mut gets = 0u64;
+    let mut hits = 0u64;
+    let (mut last_transfers, mut last_moves) = (0u64, 0u64);
+    for req in setup.workload().build().take(setup.requests) {
+        let keybuf = req.key.to_be_bytes();
+        let value = &payload[..(req.value_size as usize).min(payload.len())];
+        let penalty = SimDuration::from_micros(req.penalty_us);
+        match req.op {
+            Op::Get => {
+                gets += 1;
+                if cache.get(&keybuf).is_some() {
+                    hits += 1;
+                } else {
+                    // Demand fill, like the simulator's miss path.
+                    cache.set_with_penalty(&keybuf, value, penalty, None);
+                }
+                if gets.is_multiple_of(setup.window_gets) {
+                    let s = cache.slab_stats().expect("kv probe runs with arena storage");
+                    let class_slabs: Vec<u64> = s.classes.iter().map(|c| c.slabs).collect();
+                    println!(
+                        "w{:>2} hit={:.3} items={} slabs={}/{} free_slots={} frag={:.1}% \
+                         transfers=+{} moves=+{} occ={:?} class_slabs={:?}",
+                        gets / setup.window_gets,
+                        hits as f64 / setup.window_gets as f64,
+                        s.live_items,
+                        s.slabs,
+                        s.max_slabs,
+                        s.free_slots,
+                        100.0 * s.internal_frag_bytes() as f64 / s.slot_bytes.max(1) as f64,
+                        s.transfers - last_transfers,
+                        s.slot_moves - last_moves,
+                        s.occupancy_deciles,
+                        class_slabs,
+                    );
+                    (last_transfers, last_moves) = (s.transfers, s.slot_moves);
+                    hits = 0;
+                }
+            }
+            Op::Set | Op::Replace => cache.set_with_penalty(&keybuf, value, penalty, None),
+            Op::Delete => {
+                cache.delete(&keybuf);
+            }
+        }
+    }
+    let s = cache.slab_stats().expect("kv probe runs with arena storage");
+    cache.check_invariants().expect("kv invariants after probe run");
+    println!(
+        "final: {} items, {} slabs, {} B resident, {} B requested, {} B slot, \
+         {:.1} B/item overhead, {} transfers, {} slot moves",
+        s.live_items,
+        s.slabs,
+        s.resident_bytes,
+        s.requested_bytes,
+        s.slot_bytes,
+        s.overhead_per_item(),
+        s.transfers,
+        s.slot_moves,
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +130,10 @@ fn main() {
         migration_cooldown: flag("--cooldown", 64),
         ..PamaConfig::default()
     };
+    if args.iter().any(|a| a == "--kv") {
+        run_kv(&setup, pcfg);
+        return;
+    }
     let mut p: Box<dyn Policy + Send> = match psa_m {
         Some(m) => Box::new(Psa::with_period(cache, m)),
         None => Box::new(Pama::with_config(cache, pcfg)),

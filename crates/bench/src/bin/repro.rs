@@ -21,6 +21,9 @@
 //!   perf   kv GET/SET throughput (1/2/4/8 threads, zipfian keys),
 //!          batched ops, hit-latency percentiles; writes
 //!          BENCH_throughput.json at the repo root
+//!   memory kv per-item memory overhead and fragmentation, slab-arena
+//!          vs one-allocation-per-item baseline; writes
+//!          BENCH_memory.json at the repo root
 //!   smoke  fast end-to-end sanity run
 //!   all    every figure experiment in sequence
 //! ```
@@ -33,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|smoke|all> \
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|memory|smoke|all> \
          [--out DIR] [--threads N] [--scale X] [--seed S] [--smoke]"
     );
     std::process::exit(2);
@@ -64,8 +67,9 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "--seed" => {
-                opts.seed =
-                    Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                opts.seed = Some(
+                    args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+                );
                 i += 2;
             }
             "--smoke" => {
@@ -91,6 +95,7 @@ fn main() -> ExitCode {
             "ablation" => experiments::ablation::run(&opts),
             "chaos" => experiments::chaos::run(&opts),
             "perf" => experiments::perf::run(&opts),
+            "memory" => experiments::memory::run(&opts),
             "smoke" => experiments::smoke::run(&opts),
             _ => usage(),
         };
@@ -100,9 +105,7 @@ fn main() -> ExitCode {
 
     let mut all_checks = Vec::new();
     if exp == "all" {
-        for name in
-            ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"]
-        {
+        for name in ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"] {
             all_checks.extend(run_one(name));
         }
     } else {

@@ -90,14 +90,10 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     let psa_results: Vec<RunResult> = run_jobs(jobs, opts.threads);
     write_results_json(&dir, "ablation_psa_m.json", &psa_results);
     print_run_summary("Ablation: PSA relocation period M", &psa_results, tail);
-    let best_hit = psa_results
-        .iter()
-        .map(|r| r.steady_state_hit_ratio(tail))
-        .fold(0.0, f64::max);
-    let worst_hit = psa_results
-        .iter()
-        .map(|r| r.steady_state_hit_ratio(tail))
-        .fold(1.0, f64::min);
+    let best_hit =
+        psa_results.iter().map(|r| r.steady_state_hit_ratio(tail)).fold(0.0, f64::max);
+    let worst_hit =
+        psa_results.iter().map(|r| r.steady_state_hit_ratio(tail)).fold(1.0, f64::min);
     checks.push(ShapeCheck::new(
         "with the density guard, PSA is robust to M across two orders of magnitude",
         best_hit - worst_hit < 0.05,

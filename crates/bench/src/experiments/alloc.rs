@@ -161,10 +161,8 @@ fn run_fig4(results: &[RunResult], dir: &std::path::Path) -> ExpResult {
         .max()
         .unwrap_or(0);
     let small = (0..nclasses).find(|&c| final_usage(c) > 0).unwrap_or(0);
-    let large = (small + 3..nclasses)
-        .filter(|&c| final_usage(c) >= 32)
-        .max()
-        .unwrap_or_else(|| {
+    let large =
+        (small + 3..nclasses).filter(|&c| final_usage(c) >= 32).max().unwrap_or_else(|| {
             (small + 1..nclasses).max_by_key(|&c| final_usage(c)).unwrap_or(small)
         });
 
@@ -184,24 +182,22 @@ fn run_fig4(results: &[RunResult], dir: &std::path::Path) -> ExpResult {
         let mut total = 0.0;
         let mut weighted = 0.0;
         for b in 0..bands {
-            let series: Vec<f64> = pama
-                .subclass_slot_series(class, b)
-                .iter()
-                .map(|&x| x as f64)
-                .collect();
+            let series: Vec<f64> =
+                pama.subclass_slot_series(class, b).iter().map(|&x| x as f64).collect();
             let last = series.last().copied().unwrap_or(0.0);
             total += last;
             weighted += last * b as f64;
-            println!(
-                "    band {b} {} (final {last})",
-                sparkline(&downsample(&series, 50))
-            );
+            println!("    band {b} {} (final {last})", sparkline(&downsample(&series, 50)));
             runs.push((format!("band{b}"), series));
         }
         weighted_band[i] = if total > 0.0 { weighted / total } else { 0.0 };
         let refs: Vec<(&str, Vec<f64>)> =
             runs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
-        write_file(dir, &format!("fig4_class{class}_subclasses.csv"), &series_csv("window", &refs));
+        write_file(
+            dir,
+            &format!("fig4_class{class}_subclasses.csv"),
+            &series_csv("window", &refs),
+        );
     }
     checks.push(ShapeCheck::new(
         "larger class's population sits in higher penalty bands than the small class's",

@@ -47,10 +47,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         let hit_runs: Vec<(&str, Vec<f64>)> =
             group.iter().map(|r| (r.policy.as_str(), r.hit_ratio_series())).collect();
         write_file(&dir, &format!("fig7_hit_{mb}mb.csv"), &series_csv("window", &hit_runs));
-        let svc_runs: Vec<(&str, Vec<f64>)> = group
-            .iter()
-            .map(|r| (r.policy.as_str(), r.avg_service_series_secs()))
-            .collect();
+        let svc_runs: Vec<(&str, Vec<f64>)> =
+            group.iter().map(|r| (r.policy.as_str(), r.avg_service_series_secs())).collect();
         write_file(&dir, &format!("fig8_svc_{mb}mb.csv"), &series_csv("window", &svc_runs));
 
         let find = |p: &str| group.iter().find(|r| r.policy.starts_with(p)).unwrap();
@@ -98,7 +96,10 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
                 "base size, repeated half: PAMA's service time is a small fraction \
                  of Memcached's (paper: 11%) and PSA's (paper: 27%)",
                 vs_mc < 0.6 && vs_psa < 0.75,
-                format!("pama/mc {:.2} (paper 0.11), pama/psa {:.2} (paper 0.27)", vs_mc, vs_psa),
+                format!(
+                    "pama/mc {:.2} (paper 0.11), pama/psa {:.2} (paper 0.27)",
+                    vs_mc, vs_psa
+                ),
             ));
         }
     }
@@ -112,7 +113,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         let series = r.hit_ratio_series();
         let half = series.len() / 2;
         let first: f64 = series[..half].iter().sum::<f64>() / half.max(1) as f64;
-        let second: f64 = series[half..].iter().sum::<f64>() / (series.len() - half).max(1) as f64;
+        let second: f64 =
+            series[half..].iter().sum::<f64>() / (series.len() - half).max(1) as f64;
         checks.push(ShapeCheck::new(
             format!("{}: repeated half improves hit ratio (no cold misses)", r.policy),
             second > first,

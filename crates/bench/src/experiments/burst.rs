@@ -85,11 +85,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
             }
         });
         for mut r in rs {
-            r.workload = format!(
-                "{}{}",
-                r.workload,
-                if with_burst { "+burst" } else { "" }
-            );
+            r.workload = format!("{}{}", r.workload, if with_burst { "+burst" } else { "" });
             results.push(r);
         }
     }
@@ -100,9 +96,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     let labelled = |scheme: &str, with: bool| {
         results
             .iter()
-            .find(|r| {
-                r.policy.starts_with(scheme) && r.workload.ends_with("+burst") == with
-            })
+            .find(|r| r.policy.starts_with(scheme) && r.workload.ends_with("+burst") == with)
             .unwrap()
     };
     let psa_c = labelled("psa-unguarded", false);
@@ -120,10 +114,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         ("pama_nob", pama_c),
         ("pama_burst", pama_b),
     ] {
-        let runs =
-            [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
-        let refs: Vec<(&str, Vec<f64>)> =
-            runs.iter().map(|(n, s)| (*n, s.clone())).collect();
+        let runs = [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
+        let refs: Vec<(&str, Vec<f64>)> = runs.iter().map(|(n, s)| (*n, s.clone())).collect();
         write_file(&dir, &format!("fig9_{name}.csv"), &series_csv("window", &refs));
     }
 
@@ -171,9 +163,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         let b = burst_run.avg_service_series_secs();
         let c = control.avg_service_series_secs();
         let to = (burst_window + horizon).min(b.len().min(c.len()));
-        (burst_window..to)
-            .map(|i| (b[i] - c[i]).max(0.0))
-            .sum::<f64>()
+        (burst_window..to).map(|i| (b[i] - c[i]).max(0.0)).sum::<f64>()
             / (to - burst_window).max(1) as f64
     };
     let _psa_svc = svc_impact(psa_b, psa_c);

@@ -20,11 +20,15 @@
 
 use super::{ExpOptions, ExpResult};
 use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
-use crate::output::{out_dir, print_run_summary, series_csv, write_file, write_results_json, ShapeCheck};
+use crate::output::{
+    out_dir, print_run_summary, series_csv, write_file, write_results_json, ShapeCheck,
+};
 use pama_core::engine::Engine;
 use pama_core::metrics::RunResult;
 use pama_core::policy::Pama;
-use pama_faults::{BackendConfig, Fault, FaultSchedule, GroupPenaltyModel, RetryPolicy, TraceChaos};
+use pama_faults::{
+    BackendConfig, Fault, FaultSchedule, GroupPenaltyModel, RetryPolicy, TraceChaos,
+};
 use pama_kv::CacheBuilder;
 use pama_trace::{codec, Op, PenaltyEstimator, Trace};
 use pama_util::SimDuration;
@@ -64,10 +68,10 @@ fn scenario_penalty_shift(opts: &ExpOptions) -> ExpResult {
         setup.seed = s;
     }
     setup.cache_sizes.truncate(1); // one panel: the 64 MB cache
-    // Shift at 60% of the run: late enough that every scheme's service
-    // time has flattened (a mid-warmup shift would confound recovery
-    // with the tail of the cold-start transient), early enough to
-    // leave a dozen windows of post-shift evidence.
+                                   // Shift at 60% of the run: late enough that every scheme's service
+                                   // time has flattened (a mid-warmup shift would confound recovery
+                                   // with the tail of the cold-start transient), early enough to
+                                   // leave a dozen windows of post-shift evidence.
     let shift_at = setup.requests as u64 * 3 / 5;
     let rotate_by = 2u32;
 
@@ -81,31 +85,25 @@ fn scenario_penalty_shift(opts: &ExpOptions) -> ExpResult {
         wl
     };
     let base: Trace = quiet(&setup).generate(setup.requests);
-    let gets_before = base.requests[..shift_at as usize]
-        .iter()
-        .filter(|r| r.op == Op::Get)
-        .count() as u64;
+    let gets_before =
+        base.requests[..shift_at as usize].iter().filter(|r| r.op == Op::Get).count() as u64;
     let shift_window = (gets_before / setup.window_gets) as usize;
     drop(base);
 
     let schemes = [SchemeKind::Pama, SchemeKind::Psa, SchemeKind::Memcached];
-    let results: Vec<RunResult> =
-        run_matrix(&setup, &schemes, opts.threads, move |s| {
-            let base: Trace = quiet(s).generate(s.requests);
-            let model = GroupPenaltyModel::default();
-            let stamped: Vec<_> =
-                model.stamp(base.into_iter(), shift_at, rotate_by).collect();
-            Box::new(stamped.into_iter())
-        });
+    let results: Vec<RunResult> = run_matrix(&setup, &schemes, opts.threads, move |s| {
+        let base: Trace = quiet(s).generate(s.requests);
+        let model = GroupPenaltyModel::default();
+        let stamped: Vec<_> = model.stamp(base.into_iter(), shift_at, rotate_by).collect();
+        Box::new(stamped.into_iter())
+    });
 
     let dir = out_dir(opts.out.as_deref());
     write_results_json(&dir, "chaos_shift_runs.json", &results);
     print_run_summary("Chaos: mid-run penalty-band shift", &results, 8);
     for r in &results {
-        let series =
-            [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
-        let refs: Vec<(&str, Vec<f64>)> =
-            series.iter().map(|(n, s)| (*n, s.clone())).collect();
+        let series = [("hit", r.hit_ratio_series()), ("svc_s", r.avg_service_series_secs())];
+        let refs: Vec<(&str, Vec<f64>)> = series.iter().map(|(n, s)| (*n, s.clone())).collect();
         write_file(
             &dir,
             &format!("chaos_shift_{}.csv", r.policy.replace(['(', ')'], "")),
@@ -148,11 +146,7 @@ fn scenario_penalty_shift(opts: &ExpOptions) -> ExpResult {
         let horizon_ok = recovered_after.is_some_and(|w| w < RECOVERY_WINDOWS);
         // Disruption magnitude (informational): the worst single
         // window right after the shift, relative to pre.
-        let spike = post
-            .iter()
-            .take(3)
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let spike = post.iter().take(3).cloned().fold(f64::NEG_INFINITY, f64::max);
         println!(
             "chaos[{}]: pre {:.2}ms spike {:+.1}% tail {:.2}ms ({:+.1}%), recovered after {} window(s)",
             r.policy,

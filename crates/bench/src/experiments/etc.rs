@@ -45,10 +45,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         let hit_runs: Vec<(&str, Vec<f64>)> =
             group.iter().map(|r| (r.policy.as_str(), r.hit_ratio_series())).collect();
         write_file(&dir, &format!("fig5_hit_{mb}mb.csv"), &series_csv("window", &hit_runs));
-        let svc_runs: Vec<(&str, Vec<f64>)> = group
-            .iter()
-            .map(|r| (r.policy.as_str(), r.avg_service_series_secs()))
-            .collect();
+        let svc_runs: Vec<(&str, Vec<f64>)> =
+            group.iter().map(|r| (r.policy.as_str(), r.avg_service_series_secs())).collect();
         write_file(&dir, &format!("fig6_svc_{mb}mb.csv"), &series_csv("window", &svc_runs));
 
         let find = |p: &str| group.iter().find(|r| r.policy.starts_with(p)).unwrap();

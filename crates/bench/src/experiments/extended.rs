@@ -15,7 +15,9 @@
 
 use super::{ExpOptions, ExpResult};
 use crate::harness::{run_matrix, ScaledSetup, SchemeKind};
-use crate::output::{out_dir, print_run_summary, series_csv, write_file, write_results_json, ShapeCheck};
+use crate::output::{
+    out_dir, print_run_summary, series_csv, write_file, write_results_json, ShapeCheck,
+};
 
 /// Runs the extended comparison.
 pub fn run(opts: &ExpOptions) -> ExpResult {
@@ -37,10 +39,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     let hit_runs: Vec<(&str, Vec<f64>)> =
         results.iter().map(|r| (r.policy.as_str(), r.hit_ratio_series())).collect();
     write_file(&dir, "extended_hit.csv", &series_csv("window", &hit_runs));
-    let svc_runs: Vec<(&str, Vec<f64>)> = results
-        .iter()
-        .map(|r| (r.policy.as_str(), r.avg_service_series_secs()))
-        .collect();
+    let svc_runs: Vec<(&str, Vec<f64>)> =
+        results.iter().map(|r| (r.policy.as_str(), r.avg_service_series_secs())).collect();
     write_file(&dir, "extended_svc.csv", &series_csv("window", &svc_runs));
 
     let tail = 10;

@@ -14,6 +14,7 @@
 //! | `chaos` | fault injection & graceful degradation (extension) | [`chaos`] |
 //! | `presets` | USR/SYS/VAR: the paper's workload-selection rationale | [`presets`] |
 //! | `perf` | kv GET/SET throughput + hit latency (extension) | [`perf`] |
+//! | `memory` | kv per-item overhead & fragmentation (extension) | [`memory`] |
 //! | `smoke` | 30-second end-to-end sanity run | [`smoke`] |
 
 pub mod ablation;
@@ -24,6 +25,7 @@ pub mod chaos;
 pub mod etc;
 pub mod extended;
 pub mod fig1;
+pub mod memory;
 pub mod perf;
 pub mod presets;
 pub mod sensitivity;

@@ -229,8 +229,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     // the concurrent read path never does *worse* than the exclusive
     // design it replaced.
     let speedup_target = if cores >= 2 { 3.0 } else { 1.0 };
-    let speedup =
-        rate_of(&get_rows, "concurrent", max_threads) / rate_of(&get_rows, "exclusive", max_threads);
+    let speedup = rate_of(&get_rows, "concurrent", max_threads)
+        / rate_of(&get_rows, "exclusive", max_threads);
     let exclusive_1t = rate_of(&get_rows, "exclusive", 1);
     let conc_lat = latencies
         .iter()
@@ -299,7 +299,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         ),
     ]);
     let path = "BENCH_throughput.json";
-    std::fs::write(path, report.to_string_pretty() + "\n").expect("write BENCH_throughput.json");
+    std::fs::write(path, report.to_string_pretty() + "\n")
+        .expect("write BENCH_throughput.json");
     println!("  wrote {path}");
 
     let mut checks = Vec::new();

@@ -30,8 +30,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         .collect();
     checks.push(ShapeCheck::new(
         "USR: exactly two key sizes (16/21B) and one value size (2B)",
-        usr_sizes.iter().all(|&(k, v)| (k == 16 || k == 21) && v == 2)
-            && usr_sizes.len() <= 2,
+        usr_sizes.iter().all(|&(k, v)| (k == 16 || k == 21) && v == 2) && usr_sizes.len() <= 2,
         format!("distinct (key,value) size pairs: {usr_sizes:?}"),
     ));
 
@@ -61,10 +60,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     );
     print_run_summary("SYS-like @ 64 MB (saturation check)", &sys_results, 4);
     write_results_json(&dir, "presets_sys.json", &sys_results);
-    let sys_pama = sys_results
-        .iter()
-        .find(|r| r.policy.starts_with("pama"))
-        .unwrap();
+    let sys_pama = sys_results.iter().find(|r| r.policy.starts_with("pama")).unwrap();
     checks.push(ShapeCheck::new(
         "SYS: a modest cache produces a near-saturated hit ratio",
         sys_pama.steady_state_hit_ratio(4) > 0.95,

@@ -20,9 +20,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     let mut checks = Vec::new();
     let dir = out_dir(opts.out.as_deref());
 
-    for (name, mut setup) in
-        [("etc", ScaledSetup::etc()), ("app", ScaledSetup::app())]
-    {
+    for (name, mut setup) in [("etc", ScaledSetup::etc()), ("app", ScaledSetup::app())] {
         setup.requests = opts.scaled(setup.requests);
         if let Some(s) = opts.seed {
             setup.seed = s;
@@ -35,10 +33,8 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         write_results_json(&dir, &format!("fig10_{name}_runs.json"), &results);
         print_run_summary(&format!("Fig.10: m sweep on {name}"), &results, 10);
 
-        let svc_runs: Vec<(&str, Vec<f64>)> = results
-            .iter()
-            .map(|r| (r.policy.as_str(), r.avg_service_series_secs()))
-            .collect();
+        let svc_runs: Vec<(&str, Vec<f64>)> =
+            results.iter().map(|r| (r.policy.as_str(), r.avg_service_series_secs())).collect();
         write_file(&dir, &format!("fig10_svc_{name}.csv"), &series_csv("window", &svc_runs));
 
         let steady: Vec<f64> =
@@ -49,7 +45,12 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
         checks.push(ShapeCheck::new(
             format!("{name}: m=2 reduces service time vs m=0 (paper: 12–28% on ETC)"),
             m2 < m0,
-            format!("m0 {:.2}ms → m2 {:.2}ms ({:+.1}%)", m0 * 1e3, m2 * 1e3, (m2 / m0 - 1.0) * 100.0),
+            format!(
+                "m0 {:.2}ms → m2 {:.2}ms ({:+.1}%)",
+                m0 * 1e3,
+                m2 * 1e3,
+                (m2 / m0 - 1.0) * 100.0
+            ),
         ));
         checks.push(ShapeCheck::new(
             format!("{name}: increasing m beyond 2 brings only small further gains"),

@@ -37,11 +37,7 @@ pub fn run(opts: &ExpOptions) -> ExpResult {
     checks.push(ShapeCheck::new(
         "reallocating schemes beat original Memcached on hit ratio",
         pre.hit_ratio() > memcached.hit_ratio(),
-        format!(
-            "pre-pama {:.3} vs memcached {:.3}",
-            pre.hit_ratio(),
-            memcached.hit_ratio()
-        ),
+        format!("pre-pama {:.3} vs memcached {:.3}", pre.hit_ratio(), memcached.hit_ratio()),
     ));
     checks.push(ShapeCheck::new(
         "PAMA beats original Memcached on service time",

@@ -91,15 +91,12 @@ impl SchemeKind {
         match self {
             SchemeKind::Memcached => Box::new(MemcachedOriginal::new(cache)),
             SchemeKind::Psa => Box::new(Psa::new(cache)),
-            SchemeKind::PsaUnguarded => {
-                Box::new(Psa::unguarded(cache, Psa::DEFAULT_M))
-            }
+            SchemeKind::PsaUnguarded => Box::new(Psa::unguarded(cache, Psa::DEFAULT_M)),
             SchemeKind::PrePama => Box::new(Pama::pre_pama(cache)),
             SchemeKind::Pama => Box::new(Pama::new(cache)),
-            SchemeKind::PamaM(m) => Box::new(Pama::with_config(
-                cache,
-                PamaConfig { m, ..PamaConfig::default() },
-            )),
+            SchemeKind::PamaM(m) => {
+                Box::new(Pama::with_config(cache, PamaConfig { m, ..PamaConfig::default() }))
+            }
             SchemeKind::PamaBloom => Box::new(Pama::with_config(
                 cache,
                 PamaConfig {
@@ -189,7 +186,11 @@ pub fn run_matrix(
     setup: &ScaledSetup,
     schemes: &[SchemeKind],
     threads: usize,
-    stream: impl Fn(&ScaledSetup) -> Box<dyn Iterator<Item = Request>> + Send + Sync + Clone + 'static,
+    stream: impl Fn(&ScaledSetup) -> Box<dyn Iterator<Item = Request>>
+        + Send
+        + Sync
+        + Clone
+        + 'static,
 ) -> Vec<RunResult> {
     let mut jobs = Vec::new();
     for &size in &setup.cache_sizes {
@@ -215,8 +216,7 @@ mod tests {
     #[test]
     fn scheme_labels_are_unique() {
         let all = SchemeKind::extended_set();
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), all.len());
         assert_eq!(SchemeKind::PamaM(4).label(), "pama-m4");
     }
@@ -255,12 +255,9 @@ mod tests {
         setup.cache_sizes = vec![1 << 20];
         setup.slab_bytes = 64 << 10;
         setup.window_gets = 500;
-        let results = run_matrix(
-            &setup,
-            &[SchemeKind::Memcached, SchemeKind::Pama],
-            2,
-            |s| Box::new(s.workload().build().take(s.requests)),
-        );
+        let results = run_matrix(&setup, &[SchemeKind::Memcached, SchemeKind::Pama], 2, |s| {
+            Box::new(s.workload().build().take(s.requests))
+        });
         assert_eq!(results.len(), 2);
         assert!(results[0].policy.starts_with("memcached"));
         assert!(results[1].policy.starts_with("pama"));

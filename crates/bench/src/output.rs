@@ -33,10 +33,7 @@ pub fn write_results_json(dir: &Path, name: &str, results: &[RunResult]) {
 }
 
 /// A per-window series CSV: one row per window, one column per run.
-pub fn series_csv(
-    header_label: &str,
-    runs: &[(&str, Vec<f64>)],
-) -> String {
+pub fn series_csv(header_label: &str, runs: &[(&str, Vec<f64>)]) -> String {
     let mut out = String::new();
     out.push_str(header_label);
     for (name, _) in runs {
@@ -62,14 +59,8 @@ pub fn series_csv(
 /// cache size: overall and steady-state hit ratio / service time.
 pub fn print_run_summary(title: &str, results: &[RunResult], tail_windows: usize) {
     println!("\n== {title} ==");
-    let mut t = Table::new(vec![
-        "scheme",
-        "hit%",
-        "hit%(tail)",
-        "svc(ms)",
-        "svc(ms,tail)",
-        "windows",
-    ]);
+    let mut t =
+        Table::new(vec!["scheme", "hit%", "hit%(tail)", "svc(ms)", "svc(ms,tail)", "windows"]);
     for r in results {
         t.row(vec![
             r.policy.clone(),
@@ -115,11 +106,7 @@ impl ShapeCheck {
 /// Prints the final tally and returns the number of failed checks.
 pub fn summarize_checks(checks: &[ShapeCheck]) -> usize {
     let failed = checks.iter().filter(|c| !c.pass).count();
-    println!(
-        "\nshape checks: {}/{} reproduced",
-        checks.len() - failed,
-        checks.len()
-    );
+    println!("\nshape checks: {}/{} reproduced", checks.len() - failed, checks.len());
     failed
 }
 
@@ -129,10 +116,7 @@ mod tests {
 
     #[test]
     fn series_csv_shapes() {
-        let csv = series_csv(
-            "window",
-            &[("a", vec![1.0, 2.0]), ("b", vec![3.0])],
-        );
+        let csv = series_csv("window", &[("a", vec![1.0, 2.0]), ("b", vec![3.0])]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "window,a,b");
         assert!(lines[1].starts_with("0,1.000000,3.000000"));

@@ -55,8 +55,11 @@ impl SegmentedMembership {
         let segments = (0..num_segments)
             .map(|i| BloomFilter::with_capacity_salted(expected_per_segment, fpp, i as u64 + 1))
             .collect();
-        let removal =
-            BloomFilter::with_capacity_salted(expected_per_segment * num_segments.max(1), fpp, 0);
+        let removal = BloomFilter::with_capacity_salted(
+            expected_per_segment * num_segments.max(1),
+            fpp,
+            0,
+        );
         Self { segments, removal, expected_per_segment, fpp, removal_clears: 0 }
     }
 

@@ -71,7 +71,8 @@ impl BloomFilter {
     pub fn insert(&mut self, key: u64) {
         let (h1, h2) = self.probes(key);
         for i in 0..self.k {
-            let bit = (h1.wrapping_add(h2.wrapping_mul(u64::from(i)))) as usize % self.mask_bits;
+            let bit =
+                (h1.wrapping_add(h2.wrapping_mul(u64::from(i)))) as usize % self.mask_bits;
             self.bits[bit / 64] |= 1u64 << (bit % 64);
         }
         self.inserted += 1;
@@ -82,7 +83,8 @@ impl BloomFilter {
     pub fn contains(&self, key: u64) -> bool {
         let (h1, h2) = self.probes(key);
         for i in 0..self.k {
-            let bit = (h1.wrapping_add(h2.wrapping_mul(u64::from(i)))) as usize % self.mask_bits;
+            let bit =
+                (h1.wrapping_add(h2.wrapping_mul(u64::from(i)))) as usize % self.mask_bits;
             if self.bits[bit / 64] & (1u64 << (bit % 64)) == 0 {
                 return false;
             }

@@ -321,10 +321,7 @@ impl BaseCache {
     /// Per-class, per-band live item counts (the Fig. 4 series, in
     /// slot units; divide by `slots_per_slab` for slab-equivalents).
     pub fn subclass_usage(&self) -> Vec<Vec<u64>> {
-        self.classes
-            .iter()
-            .map(|c| c.queues.iter().map(|q| q.len() as u64).collect())
-            .collect()
+        self.classes.iter().map(|c| c.queues.iter().map(|q| q.len() as u64).collect()).collect()
     }
 
     /// Total bytes of live item payloads (diagnostics).

@@ -208,8 +208,7 @@ impl CacheConfig {
     /// when the item exceeds the largest slot (uncacheable, like a
     /// > 1 MB Memcached item).
     pub fn class_of(&self, key_size: u32, value_size: u32) -> Option<usize> {
-        let bytes =
-            u64::from(key_size) + u64::from(value_size) + u64::from(self.item_overhead);
+        let bytes = u64::from(key_size) + u64::from(value_size) + u64::from(self.item_overhead);
         let bytes = bytes.max(1);
         if bytes > self.slab_bytes {
             return None;
@@ -379,7 +378,10 @@ mod tests {
 
     #[test]
     fn single_band_config_works() {
-        let c = CacheConfig { penalty_bands: vec![SimDuration::from_secs(5)], ..Default::default() };
+        let c = CacheConfig {
+            penalty_bands: vec![SimDuration::from_secs(5)],
+            ..Default::default()
+        };
         c.validate().unwrap();
         assert_eq!(c.band_of(SimDuration::from_millis(1)), 0);
         assert_eq!(c.band_of(SimDuration::from_secs(10)), 0);

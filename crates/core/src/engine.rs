@@ -233,11 +233,7 @@ mod tests {
         let p = MemcachedOriginal::new(c);
         let ecfg = EngineConfig::default();
         // big item takes the slab; small item then cannot be cached
-        let reqs = vec![
-            Request::get(SimTime::ZERO, 9, 8, 4000),
-            get(1, 1),
-            get(2, 2),
-        ];
+        let reqs = vec![Request::get(SimTime::ZERO, 9, 8, 4000), get(1, 1), get(2, 2)];
         let r = Engine::run_to_result(p, ecfg, "t", reqs);
         assert_eq!(r.windows[0].uncached_fills, 2);
     }

@@ -86,7 +86,9 @@ impl RunResult {
 
     /// Overall mean GET service time.
     pub fn avg_service(&self) -> SimDuration {
-        SimDuration::from_micros(self.total_service_us.checked_div(self.total_gets).unwrap_or(0))
+        SimDuration::from_micros(
+            self.total_service_us.checked_div(self.total_gets).unwrap_or(0),
+        )
     }
 
     /// Per-window hit-ratio series (Figs. 5, 7, 9a).
@@ -116,11 +118,7 @@ impl RunResult {
             .iter()
             .filter_map(|w| w.alloc.as_ref())
             .map(|a| {
-                a.per_subclass_slots
-                    .get(class)
-                    .and_then(|b| b.get(band))
-                    .copied()
-                    .unwrap_or(0)
+                a.per_subclass_slots.get(class).and_then(|b| b.get(band)).copied().unwrap_or(0)
             })
             .collect()
     }
@@ -142,7 +140,9 @@ impl AllocSnapshot {
         obj(vec![
             (
                 "per_class_slabs",
-                Json::Arr(self.per_class_slabs.iter().map(|&n| Json::U64(u64::from(n))).collect()),
+                Json::Arr(
+                    self.per_class_slabs.iter().map(|&n| Json::U64(u64::from(n))).collect(),
+                ),
             ),
             (
                 "per_subclass_slots",
@@ -195,10 +195,13 @@ impl WindowMetrics {
             ("penalty_us_sum", Json::U64(self.penalty_us_sum)),
             ("uncached_fills", Json::U64(self.uncached_fills)),
         ];
-        members.push(("alloc", match &self.alloc {
-            Some(a) => a.to_json(),
-            None => Json::Null,
-        }));
+        members.push((
+            "alloc",
+            match &self.alloc {
+                Some(a) => a.to_json(),
+                None => Json::Null,
+            },
+        ));
         obj(members)
     }
 

@@ -71,9 +71,8 @@ impl GlobalLru {
     fn remove_key(&mut self, key: u64) -> Option<ItemMeta> {
         let node = self.index.remove(&key)?;
         let m = self.queue.remove(node);
-        self.used_bytes -= u64::from(m.key_size)
-            + u64::from(m.value_size)
-            + u64::from(self.cfg.item_overhead);
+        self.used_bytes -=
+            u64::from(m.key_size) + u64::from(m.value_size) + u64::from(self.cfg.item_overhead);
         Some(m)
     }
 
@@ -153,8 +152,7 @@ impl Policy for GlobalLru {
         let mut bytes_per_class = vec![0u64; nc];
         for m in self.queue.iter() {
             if let Some(c) = self.cfg.class_of(m.key_size, m.value_size) {
-                bytes_per_class[c] +=
-                    u64::from(m.key_size) + u64::from(m.value_size);
+                bytes_per_class[c] += u64::from(m.key_size) + u64::from(m.value_size);
             }
         }
         AllocSnapshot {

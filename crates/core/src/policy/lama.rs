@@ -223,8 +223,7 @@ impl Policy for LamaLite {
         if self.cache.cfg().demand_fill {
             if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
                 let c = meta.class as usize;
-                filled =
-                    insert_with_room(&mut self.cache, meta, |ca| Self::make_room(ca, c));
+                filled = insert_with_room(&mut self.cache, meta, |ca| Self::make_room(ca, c));
             }
         }
         GetOutcome { hit: false, filled }
@@ -315,11 +314,7 @@ mod tests {
             }
         }
         let w = p.weights();
-        assert!(
-            w[1] > w[0] * 10.0,
-            "penalty weighting broken: {:?}",
-            &w[..2]
-        );
+        assert!(w[1] > w[0] * 10.0, "penalty weighting broken: {:?}", &w[..2]);
         p.cache().check_invariants().unwrap();
     }
 

@@ -44,9 +44,7 @@ impl Policy for MemcachedOriginal {
         if self.cache.cfg().demand_fill {
             if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
                 let class = meta.class as usize;
-                filled = insert_with_room(&mut self.cache, meta, |c| {
-                    Self::make_room(c, class)
-                });
+                filled = insert_with_room(&mut self.cache, meta, |c| Self::make_room(c, class));
             }
         }
         GetOutcome { hit: false, filled }
@@ -137,8 +135,8 @@ mod tests {
     #[test]
     fn set_delete_cycle() {
         let mut p = MemcachedOriginal::new(tiny_cfg());
-        let s = Request::set(SimTime::ZERO, 7, 8, 100)
-            .with_penalty(SimDuration::from_millis(20));
+        let s =
+            Request::set(SimTime::ZERO, 7, 8, 100).with_penalty(SimDuration::from_millis(20));
         p.on_set(&s, tick(0));
         assert!(p.cache().contains(7));
         assert_eq!(p.cache().peek(7).unwrap().penalty, SimDuration::from_millis(20));
@@ -170,10 +168,8 @@ mod tests {
     #[test]
     fn replace_only_updates_resident() {
         let mut p = MemcachedOriginal::new(tiny_cfg());
-        let r = Request {
-            op: pama_trace::Op::Replace,
-            ..Request::set(SimTime::ZERO, 9, 8, 40)
-        };
+        let r =
+            Request { op: pama_trace::Op::Replace, ..Request::set(SimTime::ZERO, 9, 8, 40) };
         p.on_replace(&r, tick(0));
         assert!(!p.cache().contains(9), "REPLACE of absent key is a no-op");
         p.on_set(&Request::set(SimTime::ZERO, 9, 8, 40), tick(1));

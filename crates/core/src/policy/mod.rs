@@ -53,6 +53,43 @@ impl GetOutcome {
     pub const HIT: GetOutcome = GetOutcome { hit: true, filled: true };
 }
 
+/// A storage-relevant side effect of a policy decision, in the order
+/// it happened. The simulator models slabs as counts only, so a
+/// physical store (pama-kv's slab arena) replays these events to keep
+/// real memory in lockstep with the ledger: evictions free slots,
+/// grants carve fresh slabs, and moves compact + re-carve a slab for
+/// the receiving class. Recording is off by default (the simulator
+/// path never pays for it); see [`Pama::set_record_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyEvent {
+    /// An item left cache residency (LRU eviction or migration
+    /// casualty). Its slot must be freed.
+    Evicted {
+        /// Hash key of the evicted item.
+        key: u64,
+        /// Size class it occupied.
+        class: u32,
+        /// Penalty band it occupied.
+        band: u32,
+    },
+    /// A class took a slab from the free pool.
+    SlabGranted {
+        /// The receiving class.
+        class: u32,
+    },
+    /// A cross-class migration moved one slab. All evictions the
+    /// reclaim performed were emitted (as [`PolicyEvent::Evicted`])
+    /// before this event.
+    SlabMoved {
+        /// Class that surrendered the slab.
+        src_class: u32,
+        /// Band the candidate slab was drawn from.
+        src_band: u32,
+        /// Class that received the slab.
+        dst_class: u32,
+    },
+}
+
 /// The interface every allocation scheme implements.
 pub trait Policy {
     /// Display name, including salient parameters.
@@ -108,7 +145,12 @@ pub trait Policy {
 
 /// Builds an [`ItemMeta`] for a request, or `None` when the item
 /// exceeds the largest slot (uncacheable).
-pub fn meta_for(cfg: &CacheConfig, req: &Request, tick: Tick, band_for_penalty: bool) -> Option<ItemMeta> {
+pub fn meta_for(
+    cfg: &CacheConfig,
+    req: &Request,
+    tick: Tick,
+    band_for_penalty: bool,
+) -> Option<ItemMeta> {
     let class = cfg.class_of(req.key_size, req.value_size)?;
     let penalty = cfg.effective_penalty(req.penalty());
     let band = if band_for_penalty { cfg.band_of(penalty) } else { 0 };

@@ -23,7 +23,7 @@
 //! instead of summing penalties, and a single penalty band is used —
 //! turning the scheme into a purely locality/size-aware allocator.
 
-use super::{meta_for, GetOutcome, Policy};
+use super::{meta_for, GetOutcome, Policy, PolicyEvent};
 use crate::cache::{BaseCache, InsertOutcome, ItemMeta};
 use crate::config::{CacheConfig, Tick};
 use crate::lru::{LruList, NodeRef};
@@ -217,6 +217,11 @@ pub struct Pama {
     rebuilds: u64,
     /// Access serial before which no migration may happen.
     next_migration_at: u64,
+    /// When set, storage-relevant decisions are pushed to `events` for
+    /// a physical store to replay. Off by default: the simulator path
+    /// never drains the queue, so recording there would only leak.
+    record_events: bool,
+    events: Vec<PolicyEvent>,
 }
 
 impl Pama {
@@ -255,6 +260,31 @@ impl Pama {
             migrations: 0,
             rebuilds: 0,
             next_migration_at: 0,
+            record_events: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Turns [`PolicyEvent`] recording on or off. A caller that backs
+    /// this policy with physical storage turns it on and drains
+    /// [`take_events`](Self::take_events) after every mutating call.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Takes the storage events recorded since the last drain, in the
+    /// order the decisions happened.
+    pub fn take_events(&mut self) -> Vec<PolicyEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    #[inline]
+    fn emit(&mut self, e: PolicyEvent) {
+        if self.record_events {
+            self.events.push(e);
         }
     }
 
@@ -372,12 +402,20 @@ impl Pama {
             .min_by(|&a, &b| {
                 let va = self.trackers[self.sub(class, a)].outgoing();
                 let vb = self.trackers[self.sub(class, b)].outgoing();
-                va.partial_cmp(&vb).unwrap()
+                // total_cmp: a NaN segment value (conceivable only
+                // through pathological penalty arithmetic) must pick a
+                // deterministic victim, not panic the sort.
+                va.total_cmp(&vb)
             });
         let Some(b) = victim_band else {
             return false;
         };
         if let Some(victim) = self.cache.evict_tail(class, b) {
+            self.emit(PolicyEvent::Evicted {
+                key: victim.key,
+                class: victim.class,
+                band: victim.band,
+            });
             self.ghost_push(class, b, &victim);
             true
         } else {
@@ -396,6 +434,11 @@ impl Pama {
             // Scenario 2 of the paper: the cheapest candidate lives in
             // the requesting class — replace one item, no migration.
             if let Some(victim) = self.cache.evict_tail(c_star, b_star) {
+                self.emit(PolicyEvent::Evicted {
+                    key: victim.key,
+                    class: victim.class,
+                    band: victim.band,
+                });
                 self.ghost_push(c_star, b_star, &victim);
                 return true;
             }
@@ -407,8 +450,18 @@ impl Pama {
             let mut evicted = Vec::new();
             if self.cache.migrate_slab(c_star, b_star, class, |m| evicted.push(m)) {
                 for m in evicted {
+                    self.emit(PolicyEvent::Evicted {
+                        key: m.key,
+                        class: m.class,
+                        band: m.band,
+                    });
                     self.ghost_push(m.class as usize, m.band as usize, &m);
                 }
+                self.emit(PolicyEvent::SlabMoved {
+                    src_class: c_star as u32,
+                    src_band: b_star as u32,
+                    dst_class: class as u32,
+                });
                 self.migrations += 1;
                 self.next_migration_at = self.accesses + self.pcfg.migration_cooldown;
                 return true;
@@ -431,20 +484,26 @@ impl Pama {
     /// from evictions, and a slabless class never evicts).
     fn pama_insert(&mut self, meta: ItemMeta) -> bool {
         self.ghost_forget(meta.key);
-        let stored = match self.cache.insert(meta) {
-            InsertOutcome::Stored | InsertOutcome::StoredWithNewSlab => true,
-            InsertOutcome::NoSpace => {
-                self.make_room(meta.class as usize, meta.band as usize)
-                    && matches!(
-                        self.cache.insert(meta),
-                        InsertOutcome::Stored | InsertOutcome::StoredWithNewSlab
-                    )
-            }
-        };
+        let stored = self.insert_tracked(meta)
+            || (self.make_room(meta.class as usize, meta.band as usize)
+                && self.insert_tracked(meta));
         if !stored {
             self.ghost_push(meta.class as usize, meta.band as usize, &meta);
         }
         stored
+    }
+
+    /// One `BaseCache::insert` attempt, emitting a grant event when
+    /// the store pulled a fresh slab from the free pool.
+    fn insert_tracked(&mut self, meta: ItemMeta) -> bool {
+        match self.cache.insert(meta) {
+            InsertOutcome::Stored => true,
+            InsertOutcome::StoredWithNewSlab => {
+                self.emit(PolicyEvent::SlabGranted { class: meta.class });
+                true
+            }
+            InsertOutcome::NoSpace => false,
+        }
     }
 
     fn meta_with_band(&self, req: &Request, tick: Tick) -> Option<ItemMeta> {
@@ -470,9 +529,7 @@ impl Pama {
                 let s = self.sub(c, b);
                 let take = (self.pcfg.m + 1) * spslab;
                 let stack: Vec<Vec<u64>> = chunk_segments(
-                    self.cache.class(c).queues[b]
-                        .iter_from_back(take)
-                        .map(|m| m.key),
+                    self.cache.class(c).queues[b].iter_from_back(take).map(|m| m.key),
                     self.pcfg.m,
                     spslab,
                 );
@@ -688,10 +745,7 @@ mod tests {
             p.on_get(&get_p(200 + (round % 6), 2000, 3000), tick(round + 2));
         }
         assert!(p.migrations() > 0, "no migration toward expensive subclass");
-        assert!(
-            p.cache().class(5).slabs >= 1,
-            "expensive class still slabless"
-        );
+        assert!(p.cache().class(5).slabs >= 1, "expensive class still slabless");
         p.cache().check_invariants().unwrap();
     }
 
@@ -721,7 +775,7 @@ mod tests {
         p.on_get(&get_p(1, 2000, 1000), tick(0));
         p.on_get(&get_p(2, 2000, 1000), tick(1));
         p.on_get(&get_p(3, 2000, 1000), tick(2)); // evicts key 1 → ghost
-        // GET key 1 again: a ghost hit crediting its subclass.
+                                                  // GET key 1 again: a ghost hit crediting its subclass.
         p.on_get(&get_p(1, 2000, 1000), tick(3));
         let band = p.band_of(SimDuration::from_millis(1000));
         let s = p.sub(5, band);
@@ -763,10 +817,7 @@ mod tests {
         assert!(p.rebuilds() > 0);
         p.on_get(&get_p(1, 40, 4000), tick(4)); // hit on snapshotted stack
         let s = p.sub(0, p.band_of(SimDuration::from_secs(4)));
-        assert!(
-            p.trackers[s].outgoing() > 0.0,
-            "hit on tracked segment did not register"
-        );
+        assert!(p.trackers[s].outgoing() > 0.0, "hit on tracked segment did not register");
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl Psa {
         if let Some(src) = src {
             let d_src = density(&self.cache, &self.requests, src);
             let d_dst = density(&self.cache, &self.requests, dst);
-            if (!self.guard || d_src < d_dst) && self.cache.migrate_slab(src, 0, dst, |_| {})
-            {
+            if (!self.guard || d_src < d_dst) && self.cache.migrate_slab(src, 0, dst, |_| {}) {
                 self.relocations += 1;
             }
         }
@@ -173,8 +172,7 @@ impl Policy for Psa {
         if self.cache.cfg().demand_fill {
             if let Some(meta) = meta_for(self.cache.cfg(), req, tick, false) {
                 let c = meta.class as usize;
-                filled =
-                    insert_with_room(&mut self.cache, meta, |ca| Self::make_room(ca, c));
+                filled = insert_with_room(&mut self.cache, meta, |ca| Self::make_room(ca, c));
             }
         }
         GetOutcome { hit: false, filled }

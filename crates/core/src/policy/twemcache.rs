@@ -45,9 +45,8 @@ impl Twemcache {
     /// Falls back to in-class eviction when the dice land on the
     /// requesting class or on a slabless class.
     fn make_room(&mut self, class: usize) -> bool {
-        let candidates: Vec<usize> = (0..self.cache.num_classes())
-            .filter(|&c| self.cache.class(c).slabs > 0)
-            .collect();
+        let candidates: Vec<usize> =
+            (0..self.cache.num_classes()).filter(|&c| self.cache.class(c).slabs > 0).collect();
         if candidates.is_empty() {
             return false;
         }

@@ -116,8 +116,7 @@ impl ReuseTracker {
     /// rule that bounds memory on unbounded key populations.
     fn compact(&mut self) {
         self.compactions += 1;
-        let mut live: Vec<(u32, u64)> =
-            self.last_pos.iter().map(|(&k, &p)| (p, k)).collect();
+        let mut live: Vec<(u32, u64)> = self.last_pos.iter().map(|(&k, &p)| (p, k)).collect();
         live.sort_unstable();
         // Keep at most half the axis so compactions stay amortised.
         let keep = (self.cap as usize) / 2;
@@ -251,9 +250,7 @@ pub fn greedy_allocate(
                     best_chunk = j;
                 }
             }
-            if best_chunk > 0
-                && best.is_none_or(|(_, r, _)| best_rate > r)
-            {
+            if best_chunk > 0 && best.is_none_or(|(_, r, _)| best_rate > r) {
                 best = Some((c, best_rate, best_chunk));
             }
         }
@@ -342,12 +339,7 @@ mod tests {
         for _ in 0..10 {
             cold.record(Some(5));
         }
-        let alloc = greedy_allocate(
-            &[hot, cold],
-            &[1.0, 1.0],
-            &[0, 0],
-            3,
-        );
+        let alloc = greedy_allocate(&[hot, cold], &[1.0, 1.0], &[0, 0], 3);
         assert_eq!(alloc, vec![2, 1]);
     }
 

@@ -51,7 +51,8 @@ pub struct Job {
     pub ecfg: EngineConfig,
     /// Builds the policy (fresh cache) inside the worker.
     #[allow(clippy::type_complexity)]
-    pub make: Box<dyn FnOnce() -> (Box<dyn Policy + Send>, Box<dyn Iterator<Item = Request>>) + Send>,
+    pub make:
+        Box<dyn FnOnce() -> (Box<dyn Policy + Send>, Box<dyn Iterator<Item = Request>>) + Send>,
 }
 
 impl Job {
@@ -137,30 +138,21 @@ mod tests {
     }
 
     fn stream(n: u64) -> Box<dyn Iterator<Item = Request>> {
-        Box::new(
-            (0..n).map(|i| Request::get(SimTime::from_micros(i), i % 50, 8, 40)),
-        )
+        Box::new((0..n).map(|i| Request::get(SimTime::from_micros(i), i % 50, 8, 40)))
     }
 
     fn job(label: &str, psa: bool, n: u64) -> Job {
         let c = cfg();
         Job::new(label, EngineConfig::default(), move || {
-            let p: Box<dyn Policy + Send> = if psa {
-                Box::new(Psa::new(c))
-            } else {
-                Box::new(MemcachedOriginal::new(c))
-            };
+            let p: Box<dyn Policy + Send> =
+                if psa { Box::new(Psa::new(c)) } else { Box::new(MemcachedOriginal::new(c)) };
             (p, stream(n))
         })
     }
 
     #[test]
     fn results_preserve_job_order() {
-        let jobs = vec![
-            job("a", false, 100),
-            job("b", true, 200),
-            job("c", false, 300),
-        ];
+        let jobs = vec![job("a", false, 100), job("b", true, 200), job("c", false, 300)];
         let rs = run_jobs(jobs, 3);
         assert_eq!(rs.len(), 3);
         assert_eq!(rs[0].workload, "a");
@@ -175,10 +167,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let serial = run_jobs(vec![job("x", false, 500)], 1);
-        let parallel = run_jobs(
-            vec![job("x", false, 500), job("y", false, 500)],
-            4,
-        );
+        let parallel = run_jobs(vec![job("x", false, 500), job("y", false, 500)], 4);
         assert_eq!(serial[0].total_hits, parallel[0].total_hits);
         assert_eq!(parallel[0].total_hits, parallel[1].total_hits);
     }

@@ -103,7 +103,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
     // Calibrate: grow the iteration count until one batch takes ≳2ms,
     // so per-iteration timings are not dominated by timer overhead.
     let mut iters: u64 = 1;

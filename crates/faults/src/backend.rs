@@ -68,9 +68,9 @@ impl FaultSchedule {
     }
 
     fn outage_active(&self, serial: u64) -> bool {
-        self.faults.iter().any(|f| {
-            matches!(f, Fault::Outage { from, until } if (*from..*until).contains(&serial))
-        })
+        self.faults.iter().any(
+            |f| matches!(f, Fault::Outage { from, until } if (*from..*until).contains(&serial)),
+        )
     }
 
     fn storm_factor(&self, serial: u64) -> u64 {
@@ -284,18 +284,15 @@ mod tests {
 
     #[test]
     fn outage_times_out_every_attempt_then_fails() {
-        let mut b = quiet_backend(
-            FaultSchedule::none().with(Fault::Outage { from: 10, until: 20 }),
-        );
+        let mut b =
+            quiet_backend(FaultSchedule::none().with(Fault::Outage { from: 10, until: 20 }));
         let out = b.fetch(1, 15);
         assert!(!out.ok);
         assert_eq!(out.attempts, 3);
         // 3 timeouts + backoff (10ms) + doubled backoff (20ms).
         let retry = RetryPolicy::default();
-        let expect = retry
-            .timeout
-            .saturating_mul(3)
-            .saturating_add(SimDuration::from_millis(30));
+        let expect =
+            retry.timeout.saturating_mul(3).saturating_add(SimDuration::from_millis(30));
         assert_eq!(out.latency, expect);
         assert_eq!(b.stats().failures, 1);
         assert_eq!(b.stats().retries, 2);
@@ -307,8 +304,11 @@ mod tests {
     fn latency_storm_can_force_retries_but_still_fail_bounded() {
         // Timeout below the stormed latency of slow bands → failures,
         // but the outcome is always bounded and never panics.
-        let schedule =
-            FaultSchedule::none().with(Fault::LatencyStorm { from: 0, until: 100, factor: 1000 });
+        let schedule = FaultSchedule::none().with(Fault::LatencyStorm {
+            from: 0,
+            until: 100,
+            factor: 1000,
+        });
         let mut cfg = BackendConfig { jitter_pct: 0, schedule, ..BackendConfig::default() };
         cfg.retry = RetryPolicy {
             max_attempts: 2,
@@ -341,7 +341,8 @@ mod tests {
 
     #[test]
     fn jitter_stays_within_band() {
-        let mut b = BackendSim::new(BackendConfig { jitter_pct: 10, ..BackendConfig::default() });
+        let mut b =
+            BackendSim::new(BackendConfig { jitter_pct: 10, ..BackendConfig::default() });
         for serial in 0..200 {
             let key = serial * 31;
             let base = b.nominal_penalty(key, serial).as_micros();

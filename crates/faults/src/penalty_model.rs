@@ -126,10 +126,7 @@ mod tests {
         for (band, &n_before) in &before {
             let n_after = after[band];
             let diff = n_before.abs_diff(n_after);
-            assert!(
-                diff * 10 < n_before,
-                "band {band}: {n_before} -> {n_after} (>10% shift)"
-            );
+            assert!(diff * 10 < n_before, "band {band}: {n_before} -> {n_after} (>10% shift)");
         }
         // ...but individual keys must actually change groups.
         assert!(keys.iter().any(|&k| m.penalty(k) != rotated.penalty(k)));

@@ -48,7 +48,7 @@ mod shard;
 mod stats;
 
 pub use shard::LivePenaltyProbe;
-pub use stats::CacheStats;
+pub use stats::{CacheStats, SlabClassReport, SlabReport};
 
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, ConfigError};
@@ -77,6 +77,7 @@ pub struct CacheBuilder {
     default_ttl: Option<SimDuration>,
     backend: Option<BackendConfig>,
     exclusive_lock: bool,
+    heap_storage: bool,
 }
 
 impl Default for CacheBuilder {
@@ -96,6 +97,7 @@ impl CacheBuilder {
             default_ttl: None,
             backend: None,
             exclusive_lock: false,
+            heap_storage: false,
         }
     }
 
@@ -139,6 +141,16 @@ impl CacheBuilder {
         self
     }
 
+    /// Stores every value as an individual heap allocation instead of
+    /// in the slab arenas, disabling slab accounting and physical
+    /// migration. This reproduces the pre-arena design; it exists as
+    /// the memory-overhead baseline (`repro memory` measures both
+    /// modes in the same run) and has no production use.
+    pub fn heap_storage(mut self, on: bool) -> Self {
+        self.heap_storage = on;
+        self
+    }
+
     /// Attaches a simulated backend: every miss triggers a fetch whose
     /// (simulated) latency, retries and failures are tracked in
     /// [`CacheStats`], and whose measured latency seeds the key's
@@ -164,7 +176,7 @@ impl CacheBuilder {
         self.pama.validate()?;
         let shards = (0..self.shards)
             .map(|i| {
-                let mut shard = Shard::new(cfg.clone(), self.pama.clone());
+                let mut shard = Shard::new(cfg.clone(), self.pama.clone(), self.heap_storage);
                 if let Some(b) = &self.backend {
                     let mut b = b.clone();
                     // Decorrelate shard jitter streams; keep schedules.
@@ -291,7 +303,8 @@ impl PamaCache {
     pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Bytes>> {
         let now = self.now();
         let mut out = vec![None; keys.len()];
-        let mut groups: Vec<Vec<(usize, u64)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<(usize, u64)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (i, key) in keys.iter().enumerate() {
             let h = hash_key(key);
             groups[self.shard_index(h)].push((i, h));
@@ -311,7 +324,8 @@ impl PamaCache {
     pub fn multi_set(&self, items: &[(&[u8], &[u8])], ttl: Option<SimDuration>) {
         let now = self.now();
         let ttl = ttl.or(self.default_ttl);
-        let mut groups: Vec<Vec<(usize, u64)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<(usize, u64)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (i, (key, _)) in items.iter().enumerate() {
             let h = hash_key(key);
             groups[self.shard_index(h)].push((i, h));
@@ -351,6 +365,24 @@ impl PamaCache {
         self.shards.len()
     }
 
+    /// Detailed slab-arena accounting aggregated across shards —
+    /// slabs and free slots per class, resident vs requested bytes,
+    /// internal fragmentation, transfer counts, and an occupancy
+    /// histogram. Returns `None` in heap-storage mode. Takes each
+    /// shard's read lock briefly and walks slab metadata, so call it
+    /// at reporting cadence rather than per request.
+    pub fn slab_stats(&self) -> Option<SlabReport> {
+        let mut total: Option<SlabReport> = None;
+        for cell in &self.shards {
+            let report = cell.slab_report()?;
+            match &mut total {
+                None => total = Some(report),
+                Some(t) => t.merge(&report),
+            }
+        }
+        total
+    }
+
     /// Runs an expiry sweep over every shard, removing entries whose
     /// TTL has lapsed. Expiry is otherwise lazy (checked on access).
     pub fn sweep_expired(&self) -> usize {
@@ -376,11 +408,7 @@ mod tests {
     use super::*;
 
     fn small() -> PamaCache {
-        CacheBuilder::new()
-            .total_bytes(4 << 20)
-            .slab_bytes(64 << 10)
-            .shards(2)
-            .build()
+        CacheBuilder::new().total_bytes(4 << 20).slab_bytes(64 << 10).shards(2).build()
     }
 
     #[test]
@@ -422,11 +450,7 @@ mod tests {
 
     #[test]
     fn eviction_under_pressure_keeps_cache_bounded() {
-        let c = CacheBuilder::new()
-            .total_bytes(1 << 20)
-            .slab_bytes(64 << 10)
-            .shards(1)
-            .build();
+        let c = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(1).build();
         let value = vec![0u8; 4000];
         for i in 0..2_000u32 {
             c.set(format!("bulk-{i}").as_bytes(), &value, None);
@@ -441,11 +465,7 @@ mod tests {
 
     #[test]
     fn oversized_values_are_refused() {
-        let c = CacheBuilder::new()
-            .total_bytes(1 << 20)
-            .slab_bytes(64 << 10)
-            .shards(1)
-            .build();
+        let c = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(1).build();
         let huge = vec![0u8; 80 << 10]; // > one slab
         c.set(b"huge", &huge, None);
         assert!(!c.contains(b"huge"));
@@ -554,10 +574,7 @@ mod tests {
                     for i in 0..2_000u32 {
                         let key = format!("t{t}-{i}");
                         c.set(key.as_bytes(), key.as_bytes(), None);
-                        assert_eq!(
-                            c.get(key.as_bytes()).as_deref(),
-                            Some(key.as_bytes())
-                        );
+                        assert_eq!(c.get(key.as_bytes()).as_deref(), Some(key.as_bytes()));
                     }
                 });
             }
@@ -610,11 +627,7 @@ mod tests {
 
     #[test]
     fn flush_applies_deferred_promotions() {
-        let c = CacheBuilder::new()
-            .total_bytes(4 << 20)
-            .slab_bytes(64 << 10)
-            .shards(1)
-            .build();
+        let c = CacheBuilder::new().total_bytes(4 << 20).slab_bytes(64 << 10).shards(1).build();
         c.set(b"hot", b"v", None);
         for _ in 0..10 {
             assert!(c.get(b"hot").is_some());

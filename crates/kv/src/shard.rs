@@ -22,11 +22,12 @@
 //! produced.
 
 use crate::log::AccessLog;
-use crate::stats::ShardCounters;
+use crate::stats::{ShardCounters, SlabClassReport, SlabReport};
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, Tick};
-use pama_core::policy::{Pama, PamaConfig, Policy};
+use pama_core::policy::{Pama, PamaConfig, Policy, PolicyEvent};
 use pama_faults::BackendSim;
+use pama_slab::{SlabArena, SlotRef};
 use pama_trace::penalty::{DEFAULT_PENALTY, PENALTY_CAP};
 use pama_trace::Request;
 use pama_util::{FastMap, SimDuration, SimTime};
@@ -38,13 +39,35 @@ use parking_lot::RwLock;
 /// lock, short enough not to stall the writer that triggers it.
 const ACCESS_LOG_CAPACITY: usize = 4096;
 
-/// A stored entry: the full key (for collision rejection), the value,
-/// and the expiry, if any.
+/// Where an entry's bytes live.
+///
+/// The default is a [`SlotRef`] into the shard's slab arena — the
+/// physical counterpart of the policy's slab ledger. The `Heap`
+/// variant (one `Bytes` allocation per key and value) is kept as the
+/// measurable baseline the `repro memory` experiment compares against,
+/// exactly like `exclusive_lock` preserves the pre-concurrency lock
+/// design for `repro perf`.
+#[derive(Debug, Clone)]
+enum EntryLoc {
+    /// `key ‖ value` bytes in the slab arena.
+    Slot(SlotRef),
+    /// Individually heap-allocated key and value (baseline mode).
+    Heap { key: Bytes, value: Bytes },
+}
+
+/// A stored entry: where its bytes live (the slot stores the full key
+/// for collision rejection) and the expiry, if any.
 #[derive(Debug, Clone)]
 struct Entry {
-    key: Bytes,
-    value: Bytes,
+    loc: EntryLoc,
     expires: Option<SimTime>,
+}
+
+/// The shard's byte store: a slab arena kept in lockstep with the
+/// policy ledger, or the per-item-allocation baseline.
+enum Storage {
+    Arena(SlabArena),
+    Heap,
 }
 
 /// An open penalty-probe window: the key missed at `miss_at`; a `set`
@@ -81,6 +104,7 @@ enum EntryState {
 pub(crate) struct Shard {
     policy: Pama,
     entries: FastMap<u64, Entry>,
+    storage: Storage,
     estimates: FastMap<u64, SimDuration>,
     probes: FastMap<u64, Probe>,
     serial: u64,
@@ -92,7 +116,7 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub fn new(mut cfg: CacheConfig, pama: PamaConfig) -> Self {
+    pub fn new(mut cfg: CacheConfig, pama: PamaConfig, heap_storage: bool) -> Self {
         // Pre-size the maps from slab geometry: the shard can never
         // hold more items than total_bytes / min_slot, so reserving
         // that up front avoids rehash storms during warm-up. Capped so
@@ -101,9 +125,19 @@ impl Shard {
         // The shard drives inserts explicitly through `set`; the
         // policy must never phantom-fill on its own.
         cfg.demand_fill = false;
+        let storage =
+            if heap_storage { Storage::Heap } else { Storage::Arena(SlabArena::new(&cfg)) };
+        let mut policy = Pama::with_config(cfg, pama);
+        // Both storage modes replay the policy's decisions: the arena
+        // acts on all of them, the heap baseline only on evictions
+        // (grants and moves are physical-layout events it doesn't
+        // have). Without the replay, policy-evicted keys would linger
+        // in the store map.
+        policy.set_record_events(true);
         Self {
-            policy: Pama::with_config(cfg, pama),
+            policy,
             entries: FastMap::with_capacity_and_hasher(max_items, Default::default()),
+            storage,
             estimates: FastMap::with_capacity_and_hasher(max_items, Default::default()),
             probes: FastMap::with_capacity_and_hasher(max_items.min(4096), Default::default()),
             serial: 0,
@@ -148,11 +182,55 @@ impl Shard {
         e.expires.is_some_and(|t| now >= t)
     }
 
-    /// Drops an entry from both the store and the policy bookkeeping.
+    /// Whether the stored entry's key bytes equal `key`.
+    fn key_matches(&self, e: &Entry, key: &[u8]) -> bool {
+        match &e.loc {
+            EntryLoc::Heap { key: k, .. } => k.as_ref() == key,
+            EntryLoc::Slot(r) => match &self.storage {
+                Storage::Arena(a) => a.read(*r).is_some_and(|(k, _)| k == key),
+                Storage::Heap => false,
+            },
+        }
+    }
+
+    /// The entry's value, copied out of its slot (or cheaply cloned
+    /// from the heap baseline's refcounted allocation).
+    fn value_of(&self, e: &Entry) -> Option<Bytes> {
+        match &e.loc {
+            EntryLoc::Heap { value, .. } => Some(value.clone()),
+            EntryLoc::Slot(r) => match &self.storage {
+                Storage::Arena(a) => a.read(*r).map(|(_, v)| Bytes::copy_from_slice(v)),
+                Storage::Heap => None,
+            },
+        }
+    }
+
+    /// `key + value` length of the stored entry.
+    fn stored_len(&self, e: &Entry) -> u64 {
+        match &e.loc {
+            EntryLoc::Heap { key, value } => (key.len() + value.len()) as u64,
+            EntryLoc::Slot(r) => match &self.storage {
+                Storage::Arena(a) => a.locate(*r).map_or(0, |(_, _, kl, vl)| (kl + vl) as u64),
+                Storage::Heap => 0,
+            },
+        }
+    }
+
+    /// Releases an entry's bytes (frees its arena slot, if any).
+    fn release(storage: &mut Storage, e: &Entry) {
+        if let (EntryLoc::Slot(r), Storage::Arena(a)) = (&e.loc, storage) {
+            let freed = a.remove(*r);
+            debug_assert!(freed.is_ok(), "stale slot handle in index: {freed:?}");
+        }
+    }
+
+    /// Drops an entry from the store, the arena, and the policy
+    /// bookkeeping.
     fn drop_entry(&mut self, h: u64, now: SimTime, c: &ShardCounters) {
         if let Some(e) = self.entries.remove(&h) {
             ShardCounters::sub(&c.items, 1);
-            ShardCounters::sub(&c.live_bytes, (e.key.len() + e.value.len()) as u64);
+            ShardCounters::sub(&c.live_bytes, self.stored_len(&e));
+            Self::release(&mut self.storage, &e);
             let t = Tick { now, serial: self.serial };
             // Width of the delete request is irrelevant to removal.
             self.policy.on_delete(&Request::delete(now, h, 0), t);
@@ -160,11 +238,12 @@ impl Shard {
     }
 
     /// The shared-lock hit path: lookup, key check, TTL check, value
-    /// clone. No mutation — recency bookkeeping is the caller's job
-    /// (via the access log).
+    /// copy-out. No mutation — recency bookkeeping is the caller's job
+    /// (via the access log), and reading a slot never touches the
+    /// ledger.
     pub fn read_hit(&self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
         match self.entries.get(&h) {
-            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => Some(e.value.clone()),
+            Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => self.value_of(e),
             _ => None,
         }
     }
@@ -172,8 +251,8 @@ impl Shard {
     /// Immutable classification of a key's state (for `contains`).
     fn entry_state(&self, h: u64, key: &[u8], now: SimTime) -> EntryState {
         match self.entries.get(&h) {
-            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => EntryState::Live,
-            Some(e) if e.key.as_ref() == key => EntryState::Expired,
+            Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => EntryState::Live,
+            Some(e) if self.key_matches(e, key) => EntryState::Expired,
             _ => EntryState::Absent,
         }
     }
@@ -183,8 +262,9 @@ impl Shard {
     /// lock this runs under).
     fn expire_if_dead(&mut self, h: u64, key: &[u8], now: SimTime, c: &ShardCounters) {
         if let Some(e) = self.entries.get(&h) {
-            if e.key.as_ref() == key && Self::expired(e, now) {
+            if self.key_matches(e, key) && Self::expired(e, now) {
                 self.drop_entry(h, now, c);
+                self.publish_storage_gauges(c);
             }
         }
     }
@@ -201,8 +281,8 @@ impl Shard {
     ) -> Option<Bytes> {
         let tick = self.tick(now);
         match self.entries.get(&h) {
-            Some(e) if e.key.as_ref() == key && !Self::expired(e, now) => {
-                let value = e.value.clone();
+            Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => {
+                let value = self.value_of(e)?;
                 // Keep the policy's recency bookkeeping in step. The
                 // request's sizes mirror the stored entry.
                 let req = Request::get(now, h, key.len() as u32, value.len() as u32);
@@ -215,18 +295,29 @@ impl Shard {
                 // Hash collision with a different key, or expired: treat
                 // as a miss and make room for the incoming generation.
                 self.drop_entry(h, now, c);
-                self.miss(h, now, c);
+                self.miss(h, key, tick, c);
+                self.publish_storage_gauges(c);
                 None
             }
             None => {
-                self.miss(h, now, c);
+                self.miss(h, key, tick, c);
                 None
             }
         }
     }
 
-    fn miss(&mut self, h: u64, now: SimTime, c: &ShardCounters) {
+    fn miss(&mut self, h: u64, key: &[u8], tick: Tick, c: &ShardCounters) {
+        let now = tick.now;
         ShardCounters::bump(&c.misses);
+        // Tell the policy about the miss: with demand-fill off nothing
+        // is inserted, but the access advances the value window and —
+        // crucially for slab rebalance — a ghosted key credits its
+        // subclass's *incoming value*. Without this signal a physical
+        // store would never accumulate the evidence that triggers the
+        // paper's cross-class migrations.
+        let req = Request::get(now, h, key.len() as u32, 0);
+        let out = self.policy.on_get(&req, tick);
+        debug_assert!(!out.hit, "policy holds a key the store lost");
         if let Some(backend) = self.backend.as_mut() {
             let out = backend.fetch(h, self.serial);
             ShardCounters::bump(&c.backend_fetches);
@@ -253,11 +344,8 @@ impl Shard {
         // Bound the probe table: keep only the freshest half when
         // oversized (stale probes would be over-cap anyway).
         if self.probes.len() > 65_536 {
-            let mut keep: Vec<(u64, Probe)> = self
-                .probes
-                .iter()
-                .map(|(&k, &p)| (k, p))
-                .collect();
+            let mut keep: Vec<(u64, Probe)> =
+                self.probes.iter().map(|(&k, &p)| (k, p)).collect();
             keep.sort_by_key(|(_, p)| std::cmp::Reverse(p.miss_at));
             keep.truncate(32_768);
             self.probes = keep.into_iter().collect();
@@ -282,55 +370,169 @@ impl Shard {
         if self.entries.contains_key(&h) {
             self.drop_entry(h, now, c);
         }
-        let req = Request::set(now, h, key.len() as u32, value.len() as u32)
-            .with_penalty(penalty);
+        let req =
+            Request::set(now, h, key.len() as u32, value.len() as u32).with_penalty(penalty);
         ShardCounters::bump(&c.sets);
         self.policy.on_set(&req, tick);
+        // Replay the policy's storage decisions (evictions, slab
+        // grants, slab migrations) into the arena *before* writing the
+        // new item: an eviction or transfer is exactly what frees the
+        // slot the item lands in.
+        self.apply_policy_events(c);
         if self.policy.cache().contains(h) {
-            ShardCounters::bump(&c.items);
-            ShardCounters::add(&c.live_bytes, (key.len() + value.len()) as u64);
-            self.entries.insert(
-                h,
-                Entry {
-                    key: Bytes::copy_from_slice(key),
-                    value: Bytes::copy_from_slice(value),
-                    expires: ttl.map(|d| now + d),
-                },
-            );
-            // Mirror policy evictions into the byte store.
-            self.reconcile(c);
+            match self.store_bytes(h, key, value) {
+                Some(loc) => {
+                    ShardCounters::bump(&c.items);
+                    ShardCounters::add(&c.live_bytes, (key.len() + value.len()) as u64);
+                    self.entries.insert(h, Entry { loc, expires: ttl.map(|d| now + d) });
+                }
+                None => {
+                    // The arena disagreed with the ledger — impossible
+                    // while the two are in lockstep (debug builds
+                    // assert). Roll the policy back so store and
+                    // ledger stay consistent, and refuse the set.
+                    debug_assert!(false, "arena refused a ledger-approved insert");
+                    let t = Tick { now, serial: self.serial };
+                    self.policy.on_delete(&Request::delete(now, h, 0), t);
+                    ShardCounters::bump(&c.rejected);
+                }
+            }
         } else {
             ShardCounters::bump(&c.rejected);
         }
+        self.publish_storage_gauges(c);
     }
 
-    /// Removes store entries the policy has evicted.
-    fn reconcile(&mut self, c: &ShardCounters) {
-        if self.entries.len() <= self.policy.cache().len() {
+    /// Writes `key ‖ value` into storage, returning where it landed.
+    fn store_bytes(&mut self, h: u64, key: &[u8], value: &[u8]) -> Option<EntryLoc> {
+        match &mut self.storage {
+            Storage::Heap => Some(EntryLoc::Heap {
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::copy_from_slice(value),
+            }),
+            Storage::Arena(arena) => {
+                // The class the ledger stored the item under; identical
+                // to `cfg.class_of(key, value)` but read back from the
+                // policy so the two can never disagree.
+                let class = self.policy.cache().peek(h)?.class as usize;
+                arena.insert(class, h, key, value).ok().map(EntryLoc::Slot)
+            }
+        }
+    }
+
+    /// Replays the policy's recorded storage events into the arena and
+    /// the entry index, in decision order: evicted keys leave the
+    /// index and free their slots, grants carve fresh slabs, and slab
+    /// moves compact + re-carve (repointing every relocated handle).
+    fn apply_policy_events(&mut self, c: &ShardCounters) {
+        let events = self.policy.take_events();
+        if events.is_empty() {
             return;
         }
-        let policy = &self.policy;
-        let mut dropped = 0u64;
-        let mut bytes = 0u64;
-        self.entries.retain(|&h, e| {
-            let keep = policy.cache().contains(h);
-            if !keep {
-                dropped += 1;
-                bytes += (e.key.len() + e.value.len()) as u64;
+        for e in events {
+            match e {
+                PolicyEvent::Evicted { key, .. } => {
+                    if let Some(entry) = self.entries.remove(&key) {
+                        ShardCounters::bump(&c.evictions);
+                        ShardCounters::sub(&c.items, 1);
+                        ShardCounters::sub(&c.live_bytes, self.stored_len(&entry));
+                        Self::release(&mut self.storage, &entry);
+                    } else {
+                        debug_assert!(false, "policy evicted a key the store never held");
+                    }
+                }
+                PolicyEvent::SlabGranted { class } => {
+                    if let Storage::Arena(arena) = &mut self.storage {
+                        let granted = arena.grant_slab(class as usize);
+                        debug_assert!(granted.is_ok(), "slab grant drifted: {granted:?}");
+                    }
+                }
+                PolicyEvent::SlabMoved { src_class, dst_class, .. } => {
+                    if let Storage::Arena(arena) = &mut self.storage {
+                        let entries = &mut self.entries;
+                        let moved = arena.transfer_slab(
+                            src_class as usize,
+                            dst_class as usize,
+                            |hash, old, new| {
+                                if let Some(entry) = entries.get_mut(&hash) {
+                                    debug_assert!(
+                                        matches!(entry.loc, EntryLoc::Slot(r) if r == old),
+                                        "compaction moved a slot the index didn't own"
+                                    );
+                                    entry.loc = EntryLoc::Slot(new);
+                                }
+                            },
+                        );
+                        debug_assert!(moved.is_ok(), "slab transfer drifted: {moved:?}");
+                    }
+                }
             }
-            keep
-        });
-        ShardCounters::add(&c.evictions, dropped);
-        ShardCounters::sub(&c.items, dropped);
-        ShardCounters::sub(&c.live_bytes, bytes);
+        }
+    }
+
+    /// Publishes the arena's aggregate gauges to the shard counters so
+    /// `stats()` stays lock-free. Cheap: a handful of atomic stores.
+    fn publish_storage_gauges(&self, c: &ShardCounters) {
+        if let Storage::Arena(arena) = &self.storage {
+            let st = arena.stats();
+            ShardCounters::set(&c.slabs_in_use, st.slabs);
+            ShardCounters::set(&c.arena_resident_bytes, st.resident_bytes);
+            ShardCounters::set(&c.arena_free_slots, st.free_slots);
+            ShardCounters::set(&c.arena_slot_bytes, st.live_slot_bytes);
+            ShardCounters::set(&c.slab_transfers, st.transfers);
+            ShardCounters::set(&c.slot_moves, st.slot_moves);
+        }
+    }
+
+    /// Detailed slab-arena accounting for probes and benchmarks, or
+    /// `None` in heap-baseline mode. Walks the metadata arrays; meant
+    /// to be called at reporting cadence, not per operation.
+    pub fn slab_report(&self) -> Option<SlabReport> {
+        let Storage::Arena(arena) = &self.storage else {
+            return None;
+        };
+        let st = arena.stats();
+        let mut occupancy_deciles = [0u64; 10];
+        for fill in arena.slab_fills() {
+            let decile =
+                (fill.live * 10).checked_div(fill.capacity).map_or(0, |d| d.min(9) as usize);
+            occupancy_deciles[decile] += 1;
+        }
+        Some(SlabReport {
+            slab_bytes: st.slab_bytes,
+            max_slabs: st.max_slabs,
+            slabs: st.slabs,
+            resident_bytes: st.resident_bytes,
+            meta_bytes: st.meta_bytes,
+            requested_bytes: st.live_item_bytes,
+            slot_bytes: st.live_slot_bytes,
+            free_slots: st.free_slots,
+            live_items: st.live_items,
+            transfers: st.transfers,
+            slot_moves: st.slot_moves,
+            occupancy_deciles,
+            classes: arena
+                .class_stats()
+                .into_iter()
+                .map(|cs| SlabClassReport {
+                    class: cs.class,
+                    slot_bytes: cs.slot_bytes,
+                    slabs: cs.slabs,
+                    live_slots: cs.live_slots,
+                    free_slots: cs.free_slots,
+                    live_bytes: cs.live_bytes,
+                })
+                .collect(),
+        })
     }
 
     pub fn delete(&mut self, h: u64, key: &[u8], c: &ShardCounters) -> bool {
         match self.entries.get(&h) {
-            Some(e) if e.key.as_ref() == key => {
+            Some(e) if self.key_matches(e, key) => {
                 ShardCounters::bump(&c.deletes);
                 let now = SimTime::ZERO; // recency is irrelevant for removal
                 self.drop_entry(h, now, c);
+                self.publish_storage_gauges(c);
                 true
             }
             _ => false,
@@ -348,6 +550,7 @@ impl Shard {
             self.drop_entry(*h, now, c);
         }
         ShardCounters::add(&c.expired, expired.len() as u64);
+        self.publish_storage_gauges(c);
         expired.len()
     }
 
@@ -362,7 +565,13 @@ impl Shard {
         ShardCounters::add(&c.deferred_hits, hits.len() as u64);
     }
 
-    /// Cross-checks the byte store against the policy's accounting.
+    /// Cross-checks the byte store against the policy's accounting,
+    /// and — in arena mode — the physical slab ledger against both:
+    /// every live index entry must point at an allocated slot carved
+    /// for the class the policy filed the item under, per-class slab
+    /// counts must match the policy's, and inside the arena free-list
+    /// plus live slots must cover every slab's capacity (the arena's
+    /// own full-recount `check`).
     pub fn check_consistency(&self) -> Result<(), String> {
         if self.entries.len() != self.policy.cache().len() {
             return Err(format!(
@@ -371,7 +580,57 @@ impl Shard {
                 self.policy.cache().len()
             ));
         }
-        self.policy.cache().check_invariants()
+        self.policy.cache().check_invariants()?;
+        let Storage::Arena(arena) = &self.storage else {
+            return Ok(());
+        };
+        arena.check()?;
+        let st = arena.stats();
+        if st.live_items != self.entries.len() as u64 {
+            return Err(format!(
+                "arena holds {} items but the index holds {}",
+                st.live_items,
+                self.entries.len()
+            ));
+        }
+        for (&h, e) in &self.entries {
+            let EntryLoc::Slot(r) = e.loc else {
+                return Err(format!("entry {h:#x} has heap bytes in arena mode"));
+            };
+            let Some((slab_class, hash, key_len, val_len)) = arena.locate(r) else {
+                return Err(format!("entry {h:#x} points at dead slot {r:?}"));
+            };
+            if hash != h {
+                return Err(format!(
+                    "slot {r:?} stores hash {hash:#x} but is indexed as {h:#x}"
+                ));
+            }
+            let Some(meta) = self.policy.cache().peek(h) else {
+                return Err(format!("entry {h:#x} missing from the policy ledger"));
+            };
+            if meta.class as usize != slab_class {
+                return Err(format!(
+                    "entry {h:#x}: ledger class {} but stored in a class-{slab_class} slab",
+                    meta.class
+                ));
+            }
+            if meta.key_size as usize != key_len || meta.value_size as usize != val_len {
+                return Err(format!(
+                    "entry {h:#x}: ledger sizes {}+{} but slot holds {key_len}+{val_len}",
+                    meta.key_size, meta.value_size
+                ));
+            }
+        }
+        for class in 0..arena.num_classes() {
+            let physical = arena.class_slabs(class);
+            let ledger = self.policy.cache().class(class).slabs;
+            if physical != ledger {
+                return Err(format!(
+                    "class {class}: {physical} physical slabs vs {ledger} in the ledger"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -549,6 +808,12 @@ impl ShardCell {
         s
     }
 
+    /// Detailed slab accounting (takes the read lock; `None` in heap
+    /// mode).
+    pub fn slab_report(&self) -> Option<SlabReport> {
+        self.inner.read().slab_report()
+    }
+
     /// Flushes, then cross-checks store vs policy accounting.
     pub fn check_consistency(&self, now: SimTime) -> Result<(), String> {
         let mut shard = self.inner.write();
@@ -567,7 +832,7 @@ mod tests {
             slab_bytes: 64 << 10,
             ..CacheConfig::default()
         };
-        Shard::new(cfg, PamaConfig::default())
+        Shard::new(cfg, PamaConfig::default(), false)
     }
 
     fn t(ms: u64) -> SimTime {
@@ -643,7 +908,7 @@ mod tests {
     }
 
     #[test]
-    fn reconcile_drops_policy_evictions() {
+    fn policy_evictions_free_store_and_arena() {
         let mut s = shard();
         let c = ShardCounters::default();
         let v = vec![0u8; 30_000];
@@ -676,7 +941,9 @@ mod tests {
         }
         // Touch keys 0..4 (oldest first) — inline promotes immediately.
         for i in 0..4u64 {
-            assert!(inline.get_locked(i, format!("k{i}").as_bytes(), t(100 + i), &ci).is_some());
+            assert!(inline
+                .get_locked(i, format!("k{i}").as_bytes(), t(100 + i), &ci)
+                .is_some());
             assert!(deferred.read_hit(i, format!("k{i}").as_bytes(), t(100 + i)).is_some());
         }
         deferred.apply_deferred(&[0, 1, 2, 3], t(104), &cd);

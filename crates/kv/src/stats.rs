@@ -53,6 +53,24 @@ pub struct CacheStats {
     /// Read-path hit records discarded because the access log was full;
     /// each costs one recency refresh, never correctness.
     pub deferred_dropped: u64,
+    /// Slabs carved in the physical arenas (0 in heap-baseline mode,
+    /// where values are individually allocated).
+    pub slabs_in_use: u64,
+    /// Arena-resident bytes: slab backing memory plus per-slot
+    /// metadata. Bounded by the configured cache size (plus metadata),
+    /// unlike the heap baseline's unaccounted allocator overhead.
+    pub arena_resident_bytes: u64,
+    /// Free slots across all carved slabs.
+    pub arena_free_slots: u64,
+    /// Slot-granular bytes occupied by live items; the excess over
+    /// `live_bytes` is internal fragmentation from rounding items up
+    /// to their class's slot size.
+    pub arena_slot_bytes: u64,
+    /// Physical slab transfers (compaction + re-carve) driven by the
+    /// policy's cross-class migrations.
+    pub slab_transfers: u64,
+    /// Items relocated by compaction during those transfers.
+    pub slot_moves: u64,
 }
 
 impl CacheStats {
@@ -92,6 +110,115 @@ impl CacheStats {
         self.backend_time_us = self.backend_time_us.saturating_add(other.backend_time_us);
         self.deferred_hits += other.deferred_hits;
         self.deferred_dropped += other.deferred_dropped;
+        self.slabs_in_use += other.slabs_in_use;
+        self.arena_resident_bytes += other.arena_resident_bytes;
+        self.arena_free_slots += other.arena_free_slots;
+        self.arena_slot_bytes += other.arena_slot_bytes;
+        self.slab_transfers += other.slab_transfers;
+        self.slot_moves += other.slot_moves;
+    }
+
+    /// Internal fragmentation in the arenas: slot-rounding waste on
+    /// live items (0 in heap mode).
+    pub fn internal_frag_bytes(&self) -> u64 {
+        self.arena_slot_bytes.saturating_sub(self.live_bytes)
+    }
+}
+
+/// Detailed slab-arena accounting, aggregated across shards by
+/// [`crate::PamaCache::slab_stats`]. Unlike [`CacheStats`] this takes
+/// each shard's read lock and walks slab metadata, so poll it at
+/// reporting cadence (the `probe` binary prints it per window).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlabReport {
+    /// Size of one slab in bytes.
+    pub slab_bytes: u64,
+    /// Slab budget across all shards (`total_bytes / slab_bytes`).
+    pub max_slabs: u64,
+    /// Slabs currently carved.
+    pub slabs: u64,
+    /// Slab backing memory plus slot metadata, bytes.
+    pub resident_bytes: u64,
+    /// Bytes spent on out-of-line slot metadata.
+    pub meta_bytes: u64,
+    /// Exact key+value bytes of live items (what callers asked for).
+    pub requested_bytes: u64,
+    /// Slot-granular bytes those items occupy (what the arena
+    /// reserved); minus `requested_bytes` = internal fragmentation.
+    pub slot_bytes: u64,
+    /// Free slots across carved slabs.
+    pub free_slots: u64,
+    /// Live items stored.
+    pub live_items: u64,
+    /// Physical slab transfers performed.
+    pub transfers: u64,
+    /// Items relocated by transfer compaction.
+    pub slot_moves: u64,
+    /// Slab count per occupancy decile (`[0,10%) … [90,100%]`).
+    pub occupancy_deciles: [u64; 10],
+    /// Per-class breakdown, indexed by class.
+    pub classes: Vec<SlabClassReport>,
+}
+
+/// One size class's slice of a [`SlabReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabClassReport {
+    /// Class index (slot size = `min_slot · 2^class`).
+    pub class: usize,
+    /// Slot size in bytes.
+    pub slot_bytes: u64,
+    /// Slabs the class owns.
+    pub slabs: u64,
+    /// Live slots.
+    pub live_slots: u64,
+    /// Free slots.
+    pub free_slots: u64,
+    /// Exact key+value bytes of the class's live items.
+    pub live_bytes: u64,
+}
+
+impl SlabReport {
+    /// Internal fragmentation: slot-rounding waste on live items.
+    pub fn internal_frag_bytes(&self) -> u64 {
+        self.slot_bytes.saturating_sub(self.requested_bytes)
+    }
+
+    /// Resident overhead per live item, bytes: everything the arena
+    /// holds beyond the exact requested bytes, amortised per item.
+    pub fn overhead_per_item(&self) -> f64 {
+        if self.live_items == 0 {
+            return 0.0;
+        }
+        self.resident_bytes.saturating_sub(self.requested_bytes) as f64 / self.live_items as f64
+    }
+
+    /// Folds another shard's report into this one.
+    pub fn merge(&mut self, other: &SlabReport) {
+        self.slab_bytes = self.slab_bytes.max(other.slab_bytes);
+        self.max_slabs += other.max_slabs;
+        self.slabs += other.slabs;
+        self.resident_bytes += other.resident_bytes;
+        self.meta_bytes += other.meta_bytes;
+        self.requested_bytes += other.requested_bytes;
+        self.slot_bytes += other.slot_bytes;
+        self.free_slots += other.free_slots;
+        self.live_items += other.live_items;
+        self.transfers += other.transfers;
+        self.slot_moves += other.slot_moves;
+        for (d, o) in self.occupancy_deciles.iter_mut().zip(other.occupancy_deciles) {
+            *d += o;
+        }
+        if self.classes.len() < other.classes.len() {
+            self.classes.resize(other.classes.len(), SlabClassReport::default());
+        }
+        for (c, o) in self.classes.iter_mut().zip(&other.classes) {
+            c.class = o.class;
+            c.slot_bytes = o.slot_bytes;
+            c.slabs += o.slabs;
+            c.live_slots += o.live_slots;
+            c.free_slots += o.free_slots;
+            c.live_bytes += o.live_bytes;
+        }
     }
 }
 
@@ -117,6 +244,12 @@ pub(crate) struct ShardCounters {
     pub backend_failures: AtomicU64,
     pub backend_time_us: AtomicU64,
     pub deferred_hits: AtomicU64,
+    pub slabs_in_use: AtomicU64,
+    pub arena_resident_bytes: AtomicU64,
+    pub arena_free_slots: AtomicU64,
+    pub arena_slot_bytes: AtomicU64,
+    pub slab_transfers: AtomicU64,
+    pub slot_moves: AtomicU64,
 }
 
 impl ShardCounters {
@@ -148,6 +281,12 @@ impl ShardCounters {
             backend_time_us: self.backend_time_us.load(Ordering::Relaxed),
             deferred_hits: self.deferred_hits.load(Ordering::Relaxed),
             deferred_dropped: 0, // owned by the access log; the cell fills it in
+            slabs_in_use: self.slabs_in_use.load(Ordering::Relaxed),
+            arena_resident_bytes: self.arena_resident_bytes.load(Ordering::Relaxed),
+            arena_free_slots: self.arena_free_slots.load(Ordering::Relaxed),
+            arena_slot_bytes: self.arena_slot_bytes.load(Ordering::Relaxed),
+            slab_transfers: self.slab_transfers.load(Ordering::Relaxed),
+            slot_moves: self.slot_moves.load(Ordering::Relaxed),
         }
     }
 
@@ -164,6 +303,13 @@ impl ShardCounters {
     #[inline]
     pub fn sub(counter: &AtomicU64, n: u64) {
         counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Gauge store: the arena publishes its aggregates wholesale after
+    /// each mutation instead of tracking deltas.
+    #[inline]
+    pub fn set(counter: &AtomicU64, v: u64) {
+        counter.store(v, Ordering::Relaxed);
     }
 }
 

@@ -8,11 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// Geometry with no eviction pressure for the key counts used here, so
 /// equivalence can be asserted exactly (every write must survive).
 fn roomy(shards: usize) -> PamaCache {
-    CacheBuilder::new()
-        .total_bytes(16 << 20)
-        .slab_bytes(64 << 10)
-        .shards(shards)
-        .build()
+    CacheBuilder::new().total_bytes(16 << 20).slab_bytes(64 << 10).shards(shards).build()
 }
 
 #[test]
@@ -52,6 +48,18 @@ fn batched_ops_match_sequential_ops() {
     }
     seq.check_invariants().unwrap();
     bat.check_invariants().unwrap();
+
+    // Both caches store through the slab arena; their physical ledgers
+    // must agree with the logical stats and with each other.
+    for (label, cache, stats) in [("seq", &seq, &ss), ("bat", &bat, &bs)] {
+        let slabs = cache.slab_stats().expect("arena-backed cache reports slab stats");
+        assert_eq!(slabs.live_items, stats.items, "{label}: arena item count drifted");
+        assert_eq!(
+            slabs.requested_bytes, stats.live_bytes,
+            "{label}: arena byte count drifted"
+        );
+        assert_eq!(slabs.free_slots, stats.arena_free_slots, "{label}: gauge out of date");
+    }
 }
 
 #[test]
@@ -130,4 +138,10 @@ fn concurrent_writers_and_readers_converge_to_sequential_state() {
     }
     cache.check_invariants().unwrap();
     oracle.check_invariants().unwrap();
+    // After identical write sets, the concurrent cache's arena must
+    // account for exactly the same payload as the sequential oracle's.
+    let (cs, os) = (cache.slab_stats().unwrap(), oracle.slab_stats().unwrap());
+    assert_eq!(cs.live_items, os.live_items);
+    assert_eq!(cs.requested_bytes, os.requested_bytes);
+    assert_eq!(cs.live_items, s.items);
 }

@@ -1,6 +1,7 @@
 //! Property-based tests for the embeddable cache: semantic guarantees
 //! against a reference map under arbitrary op sequences.
 
+use pama_core::policy::PamaConfig;
 use pama_kv::CacheBuilder;
 use pama_util::SimDuration;
 use proptest::prelude::*;
@@ -23,6 +24,35 @@ fn kv_op() -> impl Strategy<Value = KvOp> {
 
 fn key_bytes(k: u8) -> Vec<u8> {
     format!("key-{k:03}").into_bytes()
+}
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Set { key: u8, value_len: usize },
+    Get { key: u8 },
+    Delete { key: u8 },
+}
+
+/// Value sizes that straddle slot-size boundaries: for class `c`
+/// (slot = 64·2^c) the total item size lands within ±2 bytes of the
+/// boundary, so neighbouring draws fall on either side of the class
+/// split. `key-###` keys are 7 bytes.
+fn boundary_len() -> impl Strategy<Value = usize> {
+    (0u32..6, -2i64..3).prop_map(|(class, delta)| {
+        let slot = 64i64 << class;
+        (slot + delta - 7).max(1) as usize
+    })
+}
+
+fn arena_op() -> impl Strategy<Value = ArenaOp> {
+    prop_oneof![
+        3 => (any::<u8>(), boundary_len())
+            .prop_map(|(key, value_len)| ArenaOp::Set { key, value_len }),
+        1 => (any::<u8>(), 1usize..3000)
+            .prop_map(|(key, value_len)| ArenaOp::Set { key, value_len }),
+        4 => any::<u8>().prop_map(|key| ArenaOp::Get { key }),
+        1 => any::<u8>().prop_map(|key| ArenaOp::Delete { key }),
+    ]
 }
 
 #[derive(Debug, Clone)]
@@ -206,6 +236,78 @@ proptest! {
             }
         }
         prop_assert_eq!(cache.stats().items, items);
+    }
+
+    /// Arena lockstep: under random set/get/delete sequences — with
+    /// value sizes deliberately straddling slot-size boundaries, so
+    /// items land one byte either side of a class split — the slab
+    /// arena's accounting stays in lockstep with a plain-HashMap
+    /// oracle and with the policy ledger. `check_invariants` is the
+    /// per-op oracle (every index entry points at a live slot of the
+    /// right class, free + live slots cover every slab, per-class slab
+    /// counts match the policy); the end-state check recounts items
+    /// and bytes through `slab_stats`.
+    #[test]
+    fn arena_accounting_stays_in_lockstep_with_oracle(
+        ops in prop::collection::vec(arena_op(), 1..250)
+    ) {
+        let cache = CacheBuilder::new()
+            .total_bytes(256 << 10)
+            .slab_bytes(16 << 10)
+            .shards(1)
+            .pama(PamaConfig {
+                // Aggressive windows so ghost evidence accumulates and
+                // cross-class migrations (physical slab transfers)
+                // actually fire inside short sequences.
+                value_window: 64,
+                migration_cooldown: 4,
+                ..PamaConfig::default()
+            })
+            .build();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                ArenaOp::Set { key, value_len } => {
+                    let value = vec![key ^ 0x5A; value_len];
+                    cache.set(&key_bytes(key), &value, None);
+                    model.insert(key, value);
+                }
+                ArenaOp::Get { key } => {
+                    if let Some(got) = cache.get(&key_bytes(key)) {
+                        match model.get(&key) {
+                            Some(expect) => prop_assert_eq!(
+                                got.as_ref(),
+                                &expect[..],
+                                "wrong bytes for key {} out of the arena",
+                                key
+                            ),
+                            None => prop_assert!(false, "key {} rose from the dead", key),
+                        }
+                    }
+                }
+                ArenaOp::Delete { key } => {
+                    cache.delete(&key_bytes(key));
+                    model.remove(&key);
+                    prop_assert!(cache.get(&key_bytes(key)).is_none());
+                }
+            }
+            cache.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // End state: the arena's own aggregates agree with the
+        // lock-free stats gauges and with a full recount.
+        let stats = cache.stats();
+        let slabs = cache.slab_stats().expect("arena mode must report slab stats");
+        prop_assert_eq!(slabs.live_items, stats.items);
+        prop_assert_eq!(slabs.requested_bytes, stats.live_bytes);
+        prop_assert_eq!(slabs.slabs, stats.slabs_in_use);
+        prop_assert_eq!(slabs.free_slots, stats.arena_free_slots);
+        prop_assert_eq!(slabs.slot_bytes, stats.arena_slot_bytes);
+        prop_assert_eq!(slabs.internal_frag_bytes(), stats.internal_frag_bytes());
+        prop_assert!(slabs.slot_bytes >= slabs.requested_bytes);
+        let decile_total: u64 = slabs.occupancy_deciles.iter().sum();
+        prop_assert_eq!(decile_total, slabs.slabs);
+        let class_items: u64 = slabs.classes.iter().map(|c| c.live_slots).sum();
+        prop_assert_eq!(class_items, stats.items);
     }
 
     /// TTL: entries never outlive their TTL as observed through `get`.

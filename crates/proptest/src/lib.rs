@@ -231,7 +231,8 @@ pub mod strategy {
                         (n, n)
                     }
                 }
-            } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+            } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+')
+            {
                 let suffix = chars[i];
                 i += 1;
                 match suffix {
@@ -560,7 +561,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Module alias so `prop::collection::vec` etc. resolve.
     pub mod prop {
@@ -673,8 +676,12 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         if *l == *r {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: {} != {}\n  both: {:?}",
-                    stringify!($left), stringify!($right), l),
+                format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                ),
             ));
         }
     }};

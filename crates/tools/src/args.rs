@@ -34,10 +34,8 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .cloned()
-                    .ok_or_else(|| MissingValue(name.to_string()))?;
+                let value =
+                    raw.get(i + 1).cloned().ok_or_else(|| MissingValue(name.to_string()))?;
                 if name == "policy" {
                     out.policies_raw.push(value);
                 } else {

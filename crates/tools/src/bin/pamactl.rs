@@ -80,10 +80,7 @@ fn write_trace(trace: &Trace, path: &str) {
 }
 
 fn cmd_gen(args: &Args) {
-    let preset = args
-        .flag("preset")
-        .and_then(Preset::from_name)
-        .unwrap_or_else(|| usage());
+    let preset = args.flag("preset").and_then(Preset::from_name).unwrap_or_else(|| usage());
     let requests = args.num("requests", 1_000_000).unwrap_or_else(|| usage()) as usize;
     let keys = args.num("keys", 200_000).unwrap_or_else(|| usage());
     let seed = args.num("seed", 42).unwrap_or_else(|| usage());

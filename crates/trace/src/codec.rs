@@ -42,7 +42,7 @@ pub enum CodecError {
         /// 1-based line number of the offending record.
         line: usize,
         /// Parser message.
-        msg: String
+        msg: String,
     },
 }
 
@@ -66,8 +66,7 @@ impl From<io::Error> for CodecError {
     }
 }
 
-const OP_CODES: [(Op, u8); 4] =
-    [(Op::Get, 0), (Op::Set, 1), (Op::Delete, 2), (Op::Replace, 3)];
+const OP_CODES: [(Op, u8); 4] = [(Op::Get, 0), (Op::Set, 1), (Op::Delete, 2), (Op::Replace, 3)];
 
 fn op_to_code(op: Op) -> u8 {
     OP_CODES.iter().find(|(o, _)| *o == op).unwrap().1
@@ -221,8 +220,8 @@ pub fn read_jsonl(r: &mut impl BufRead) -> Result<Trace, CodecError> {
         }
         let value = Json::parse(&line)
             .map_err(|e| CodecError::Json { line: i + 1, msg: e.to_string() })?;
-        let req = request_from_json(&value)
-            .map_err(|msg| CodecError::Json { line: i + 1, msg })?;
+        let req =
+            request_from_json(&value).map_err(|msg| CodecError::Json { line: i + 1, msg })?;
         requests.push(req);
     }
     Ok(Trace::from_requests(requests))

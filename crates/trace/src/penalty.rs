@@ -209,10 +209,7 @@ impl PenaltyEstimator {
         let mut map = PenaltyMap::with_default(self.default);
         for (key, st) in self.states {
             if st.samples > 0 {
-                map.insert(
-                    key,
-                    SimDuration::from_micros(st.sum_us / u64::from(st.samples)),
-                );
+                map.insert(key, SimDuration::from_micros(st.sum_us / u64::from(st.samples)));
             }
         }
         map

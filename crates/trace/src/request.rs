@@ -229,8 +229,7 @@ mod tests {
 
     #[test]
     fn trace_iteration() {
-        let t: Trace =
-            (0..5).map(|i| Request::get(SimTime::from_micros(i), i, 8, 1)).collect();
+        let t: Trace = (0..5).map(|i| Request::get(SimTime::from_micros(i), i, 8, 1)).collect();
         assert_eq!(t.len(), 5);
         assert!(!t.is_empty());
         let keys: Vec<u64> = (&t).into_iter().map(|r| r.key).collect();

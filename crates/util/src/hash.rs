@@ -318,7 +318,8 @@ mod tests {
         let expect = n / 16;
         for bucket in top.iter().chain(bot.iter()) {
             assert!(
-                (*bucket as f64) > expect as f64 * 0.8 && (*bucket as f64) < expect as f64 * 1.2,
+                (*bucket as f64) > expect as f64 * 0.8
+                    && (*bucket as f64) < expect as f64 * 1.2,
                 "skewed bucket: {bucket} vs {expect}"
             );
         }

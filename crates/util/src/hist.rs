@@ -11,7 +11,6 @@
 //!
 //! Both are plain arrays of counters: O(1) insert, mergeable, serde-able.
 
-
 /// Equal-width histogram over `[lo, hi)` with out-of-range clamping.
 #[derive(Debug, Clone)]
 pub struct LinearHistogram {

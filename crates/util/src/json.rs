@@ -83,7 +83,9 @@ impl Json {
         match *self {
             Json::U64(n) => Some(n),
             Json::I64(n) => u64::try_from(n).ok(),
-            Json::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= 2f64.powi(53) => Some(f as u64),
+            Json::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= 2f64.powi(53) => {
+                Some(f as u64)
+            }
             _ => None,
         }
     }
@@ -167,10 +169,17 @@ fn write_value(v: &Json, indent: Option<usize>, level: usize, out: &mut String) 
         Json::I64(n) => out.push_str(&n.to_string()),
         Json::F64(f) => write_f64(*f, out),
         Json::Str(s) => write_escaped(s, out),
-        Json::Arr(items) => write_seq(items.iter().map(Item::Plain), '[', ']', indent, level, out),
-        Json::Obj(members) => {
-            write_seq(members.iter().map(|(k, v)| Item::Keyed(k, v)), '{', '}', indent, level, out)
+        Json::Arr(items) => {
+            write_seq(items.iter().map(Item::Plain), '[', ']', indent, level, out)
         }
+        Json::Obj(members) => write_seq(
+            members.iter().map(|(k, v)| Item::Keyed(k, v)),
+            '{',
+            '}',
+            indent,
+            level,
+            out,
+        ),
     }
 }
 
@@ -519,9 +528,24 @@ mod tests {
     #[test]
     fn malformed_inputs_error_not_panic() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "tru", "\"unterminated", "01x", "1.",
-            "1e", "{\"a\" 1}", "[1 2]", "nul", "--1", "\"\\q\"", "{\"a\":1}}",
-            "\u{1}", "[",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "1.",
+            "1e",
+            "{\"a\" 1}",
+            "[1 2]",
+            "nul",
+            "--1",
+            "\"\\q\"",
+            "{\"a\":1}}",
+            "\u{1}",
+            "[",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -7,7 +7,6 @@
 //! ([`RatioCounter`]), and a fixed-capacity ring for windowed rates
 //! ([`SlidingWindow`]).
 
-
 /// Welford-style single-pass mean / variance / min / max accumulator.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingStats {

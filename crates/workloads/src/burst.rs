@@ -12,8 +12,8 @@
 //! configurable range, totalling a target byte volume.
 
 use crate::dist::PenaltyModel;
-use pama_trace::{Op, Request, Trace};
 use pama_trace::transform::splice_at_get;
+use pama_trace::{Op, Request, Trace};
 use pama_util::hash::{hash_u64, mix13};
 use pama_util::{SimDuration, SimTime};
 
@@ -159,18 +159,15 @@ mod tests {
 
     #[test]
     fn inject_places_burst_mid_trace() {
-        let base: Trace = (0..100)
-            .map(|i| Request::get(SimTime::from_millis(i), i, 8, 50))
-            .collect();
+        let base: Trace =
+            (0..100).map(|i| Request::get(SimTime::from_millis(i), i, 8, 50)).collect();
         let spliced = burst().inject(&base, 50);
         assert_eq!(spliced.len(), 100 + burst().generate().len());
         assert!(spliced.is_sorted());
         // the burst sits right before the 51st GET
         let first_set = spliced.iter().position(|r| r.op == Op::Set).unwrap();
-        let gets_before = spliced.requests[..first_set]
-            .iter()
-            .filter(|r| r.op == Op::Get)
-            .count();
+        let gets_before =
+            spliced.requests[..first_set].iter().filter(|r| r.op == Op::Get).count();
         assert_eq!(gets_before, 50);
     }
 

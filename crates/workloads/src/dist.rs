@@ -316,10 +316,7 @@ mod tests {
         };
         let med = m.sample_u(0.5);
         let expect = 214.476 * ((2f64).powf(0.348538) - 1.0) / 0.348538;
-        assert!(
-            (f64::from(med) - expect).abs() < 2.0,
-            "median {med} vs analytic {expect}"
-        );
+        assert!((f64::from(med) - expect).abs() < 2.0, "median {med} vs analytic {expect}");
         // tail is heavy but capped
         assert!(m.sample_u(0.999999999) <= 1 << 20);
         assert!(m.sample_u(0.9999) > 1000);

@@ -20,8 +20,8 @@
 //! exercised on the same traces by stripping the field (see the
 //! `trace_pipeline` example).
 
-use crate::keyspace::{Band, KeySpace};
 use crate::dist::KeySizeModel;
+use crate::keyspace::{Band, KeySpace};
 use crate::zipf::ZipfApprox;
 use pama_trace::{Op, Request, Trace};
 use pama_util::{Rng, SimDuration, SimTime, Xoshiro256StarStar};
@@ -347,8 +347,7 @@ mod tests {
     #[test]
     fn diurnal_modulates_density() {
         let mut cfg = base_cfg();
-        cfg.diurnal =
-            Some(Diurnal { period: SimDuration::from_secs(4), amplitude: 0.9 });
+        cfg.diurnal = Some(Diurnal { period: SimDuration::from_secs(4), amplitude: 0.9 });
         // interarrival 100µs ⇒ ~40k requests per 4s cycle
         let t = cfg.generate(40_000);
         // Count requests in the first vs second half of one cycle: the

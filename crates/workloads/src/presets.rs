@@ -180,11 +180,7 @@ fn app(n_ranks: u64, seed: u64) -> WorkloadConfig {
         bands: vec![
             Band {
                 weight: 0.25,
-                value_size: SizeModel::DiscreteModes(vec![
-                    (270, 1.5),
-                    (400, 1.0),
-                    (650, 0.8),
-                ]),
+                value_size: SizeModel::DiscreteModes(vec![(270, 1.5), (400, 1.0), (650, 0.8)]),
                 penalty: PenaltyModel::LogNormal {
                     median: SimDuration::from_millis(25),
                     sigma: 1.3,
@@ -345,10 +341,8 @@ mod tests {
     #[test]
     fn etc_small_items_dominate_requests() {
         let t = Preset::Etc.config(100_000, 2).generate(100_000);
-        let small = t
-            .iter()
-            .filter(|r| r.op == pama_trace::Op::Get && r.item_bytes() <= 128)
-            .count();
+        let small =
+            t.iter().filter(|r| r.op == pama_trace::Op::Get && r.item_bytes() <= 128).count();
         let gets = t.num_gets();
         let frac = small as f64 / gets as f64;
         // band 0 (55%) plus the GPD head should put well over 50% of GET
@@ -380,10 +374,7 @@ mod tests {
         let app = Preset::App.config(50_000, 5).generate(50_000);
         let m_etc = TraceSummary::compute(&etc).mean_item_bytes();
         let m_app = TraceSummary::compute(&app).mean_item_bytes();
-        assert!(
-            m_app > m_etc * 2.0,
-            "APP mean {m_app:.0} vs ETC mean {m_etc:.0}"
-        );
+        assert!(m_app > m_etc * 2.0, "APP mean {m_app:.0} vs ETC mean {m_etc:.0}");
     }
 
     #[test]
@@ -412,10 +403,7 @@ mod tests {
         let s = TraceSummary::compute(&t);
         let p01 = s.penalty_hist.quantile(0.01).unwrap();
         let p99 = s.penalty_hist.quantile(0.99).unwrap();
-        assert!(
-            p99 / p01.max(1) >= 100,
-            "penalty spread too narrow: p01={p01}us p99={p99}us"
-        );
+        assert!(p99 / p01.max(1) >= 100, "penalty spread too narrow: p01={p01}us p99={p99}us");
         assert!(p99 <= 5_000_000, "penalty above the 5s cap: {p99}us");
     }
 }

@@ -196,10 +196,7 @@ mod tests {
         for i in [0usize, 1, 5, 20] {
             let emp = counts[i] as f64 / n as f64;
             let exp = z.pmf(i);
-            assert!(
-                (emp - exp).abs() / exp < 0.1,
-                "rank {i}: emp {emp:.5} vs pmf {exp:.5}"
-            );
+            assert!((emp - exp).abs() / exp < 0.1, "rank {i}: emp {emp:.5} vs pmf {exp:.5}");
         }
     }
 

@@ -18,8 +18,11 @@ fn arb_size_model() -> impl Strategy<Value = SizeModel> {
         (1f64..500.0, 0.01f64..1.5).prop_map(|(scale, shape)| {
             SizeModel::GeneralizedPareto { location: 0.0, scale, shape, cap: 1 << 20 }
         }),
-        (0f64..12.0, 0.05f64..2.5)
-            .prop_map(|(mu, sigma)| SizeModel::LogNormal { mu, sigma, cap: 1 << 20 }),
+        (0f64..12.0, 0.05f64..2.5).prop_map(|(mu, sigma)| SizeModel::LogNormal {
+            mu,
+            sigma,
+            cap: 1 << 20
+        }),
     ]
 }
 

@@ -48,11 +48,8 @@ fn run(policy: Box<dyn Policy + Send>, with_burst: bool) -> RunResult {
 }
 
 fn main() {
-    let cache = CacheConfig {
-        total_bytes: 48 << 20,
-        slab_bytes: 256 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 48 << 20, slab_bytes: 256 << 10, ..CacheConfig::default() };
 
     println!("running PSA and PAMA, each with and without the burst...\n");
     let psa_ctl = run(Box::new(Psa::new(cache.clone())), false);

@@ -126,11 +126,8 @@ impl Policy for HitDensity {
 }
 
 fn main() {
-    let cache = CacheConfig {
-        total_bytes: 32 << 20,
-        slab_bytes: 256 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 32 << 20, slab_bytes: 256 << 10, ..CacheConfig::default() };
     let workload = Preset::Etc.config(120_000, 5);
     let ecfg = EngineConfig { window_gets: 100_000, snapshot_allocations: false };
     let requests = 1_200_000;

@@ -14,11 +14,8 @@ use pama::workloads::Preset;
 fn main() {
     // 1. A cache: 32 MiB of 256 KiB slabs, 64 B base slot, the paper's
     //    five penalty bands, demand-fill on GET misses.
-    let cache = CacheConfig {
-        total_bytes: 32 << 20,
-        slab_bytes: 256 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 32 << 20, slab_bytes: 256 << 10, ..CacheConfig::default() };
 
     // 2. A workload: the ETC-like preset (Zipf popularity, mostly tiny
     //    values, heavy DELETE share, ms-to-seconds miss penalties).

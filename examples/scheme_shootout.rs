@@ -16,18 +16,11 @@ use pama::workloads::Preset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let preset = args
-        .first()
-        .and_then(|s| Preset::from_name(s))
-        .unwrap_or(Preset::Etc);
-    let requests: usize =
-        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_500_000);
+    let preset = args.first().and_then(|s| Preset::from_name(s)).unwrap_or(Preset::Etc);
+    let requests: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_500_000);
 
-    let cache = CacheConfig {
-        total_bytes: 48 << 20,
-        slab_bytes: 256 << 10,
-        ..CacheConfig::default()
-    };
+    let cache =
+        CacheConfig { total_bytes: 48 << 20, slab_bytes: 256 << 10, ..CacheConfig::default() };
     let workload = preset.config(150_000, 7);
     let ecfg = EngineConfig { window_gets: 100_000, snapshot_allocations: false };
 
@@ -49,12 +42,7 @@ fn main() {
         Box::new(GlobalLru::new(cache.clone())),
     ];
 
-    let mut table = Table::new(vec![
-        "scheme",
-        "hit%",
-        "avg svc (ms)",
-        "svc vs memcached",
-    ]);
+    let mut table = Table::new(vec!["scheme", "hit%", "avg svc (ms)", "svc vs memcached"]);
     let mut memcached_svc = None;
     for policy in policies {
         let name = policy.name();

@@ -16,8 +16,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "results".into()).into();
+    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "results".into()).into();
     std::fs::create_dir_all(&out)?;
 
     // 1. Generate an APP-like trace.
@@ -77,8 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &mut stripped.requests {
         r.penalty_us = 0;
     }
-    let client_view =
-        pama::trace::transform::merge(&stripped, &Trace::from_requests(refills));
+    let client_view = pama::trace::transform::merge(&stripped, &Trace::from_requests(refills));
 
     let mut est = PenaltyEstimator::new();
     est.observe_trace(&client_view);

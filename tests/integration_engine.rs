@@ -3,19 +3,15 @@
 
 use pama::core::config::{CacheConfig, EngineConfig};
 use pama::core::engine::Engine;
+use pama::core::metrics::RunResult;
 use pama::core::policy::{
     FacebookAge, GlobalLru, LamaLite, MemcachedOriginal, Pama, PamaConfig, Policy, Psa,
     Twemcache,
 };
-use pama::core::metrics::RunResult;
 use pama::workloads::Preset;
 
 fn small_cache() -> CacheConfig {
-    CacheConfig {
-        total_bytes: 4 << 20,
-        slab_bytes: 64 << 10,
-        ..CacheConfig::default()
-    }
+    CacheConfig { total_bytes: 4 << 20, slab_bytes: 64 << 10, ..CacheConfig::default() }
 }
 
 fn all_policies(cache: &CacheConfig) -> Vec<Box<dyn Policy + Send>> {
@@ -88,11 +84,7 @@ fn cache_invariants_hold_after_long_runs() {
         let ecfg = EngineConfig { window_gets: 50_000, snapshot_allocations: false };
         let mut engine = Engine::new(policy, ecfg).with_workload_label("app");
         engine.run(wl.build().take(150_000));
-        engine
-            .policy()
-            .cache()
-            .check_invariants()
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        engine.policy().cache().check_invariants().unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -117,12 +109,7 @@ fn demand_fill_off_still_serves_sets() {
     cache.demand_fill = false;
     let wl = Preset::Var.config(5_000, 4); // SET-heavy
     let ecfg = EngineConfig::default();
-    let r = Engine::run_to_result(
-        Pama::new(cache),
-        ecfg,
-        "var",
-        wl.build().take(80_000),
-    );
+    let r = Engine::run_to_result(Pama::new(cache), ecfg, "var", wl.build().take(80_000));
     // Without demand fill, hits only come from SET-installed items;
     // VAR is SET-dominated so there must be plenty.
     assert!(r.hit_ratio() > 0.1, "hit ratio {}", r.hit_ratio());
