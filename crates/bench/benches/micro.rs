@@ -179,7 +179,7 @@ fn bench_policy_decision(c: &mut Criterion) {
 fn bench_kv_cache(c: &mut Criterion) {
     // The release artifact's end-to-end ops: real byte storage, shard
     // lock, policy bookkeeping, hashing — what an adopter would see.
-    use pama_kv::CacheBuilder;
+    use pama_kv::{CacheBuilder, SetOptions};
     let mut g = c.benchmark_group("pama_kv");
     g.throughput(Throughput::Elements(1));
     let cache =
@@ -189,7 +189,7 @@ fn bench_kv_cache(c: &mut Criterion) {
         (0..20_000u32).map(|i| format!("bench-key-{i}").into_bytes()).collect();
     let value = vec![0u8; 256];
     for k in &keys {
-        cache.set(k, &value, None);
+        cache.set(k, &value, &SetOptions::default()).expect("preload set");
     }
     let mut rng = SplitMix64::new(11);
     g.bench_function("get_hit", |b| {
@@ -201,7 +201,7 @@ fn bench_kv_cache(c: &mut Criterion) {
     g.bench_function("set_update", |b| {
         b.iter(|| {
             let k = &keys[(rng.next_u64() % keys.len() as u64) as usize];
-            cache.set(black_box(k), &value, None);
+            let _ = cache.set(black_box(k), &value, &SetOptions::default());
         })
     });
     let mut miss_i = 0u64;

@@ -11,6 +11,7 @@
 use pama_bench::harness::ScaledSetup;
 use pama_core::config::{EngineConfig, Tick};
 use pama_core::policy::{Pama, PamaConfig, Policy, Psa};
+use pama_kv::SetOptions;
 use pama_trace::Op;
 use pama_util::SimDuration;
 use pama_workloads::Preset;
@@ -39,10 +40,10 @@ fn run_kv(setup: &ScaledSetup, pcfg: PamaConfig) {
                     hits += 1;
                 } else {
                     // Demand fill, like the simulator's miss path.
-                    cache.set_with_penalty(&keybuf, value, penalty, None);
+                    let _ = cache.set(&keybuf, value, &SetOptions::new().penalty(penalty));
                 }
                 if gets.is_multiple_of(setup.window_gets) {
-                    let s = cache.slab_stats().expect("kv probe runs with arena storage");
+                    let s = cache.report().slabs.expect("kv probe runs with arena storage");
                     let class_slabs: Vec<u64> = s.classes.iter().map(|c| c.slabs).collect();
                     println!(
                         "w{:>2} hit={:.3} items={} slabs={}/{} free_slots={} frag={:.1}% \
@@ -63,13 +64,15 @@ fn run_kv(setup: &ScaledSetup, pcfg: PamaConfig) {
                     hits = 0;
                 }
             }
-            Op::Set | Op::Replace => cache.set_with_penalty(&keybuf, value, penalty, None),
+            Op::Set | Op::Replace => {
+                let _ = cache.set(&keybuf, value, &SetOptions::new().penalty(penalty));
+            }
             Op::Delete => {
                 cache.delete(&keybuf);
             }
         }
     }
-    let s = cache.slab_stats().expect("kv probe runs with arena storage");
+    let s = cache.report().slabs.expect("kv probe runs with arena storage");
     cache.check_invariants().expect("kv invariants after probe run");
     println!(
         "final: {} items, {} slabs, {} B resident, {} B requested, {} B slot, \

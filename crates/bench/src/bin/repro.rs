@@ -24,6 +24,9 @@
 //!   memory kv per-item memory overhead and fragmentation, slab-arena
 //!          vs one-allocation-per-item baseline; writes
 //!          BENCH_memory.json at the repo root
+//!   net    loopback pamad server: serial vs pipelined vs multiget
+//!          throughput, latency percentiles, shutdown drain; writes
+//!          BENCH_net.json at the repo root
 //!   smoke  fast end-to-end sanity run
 //!   all    every figure experiment in sequence
 //! ```
@@ -36,7 +39,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|memory|smoke|all> \
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|memory|net|smoke|all> \
          [--out DIR] [--threads N] [--scale X] [--seed S] [--smoke]"
     );
     std::process::exit(2);
@@ -96,6 +99,7 @@ fn main() -> ExitCode {
             "chaos" => experiments::chaos::run(&opts),
             "perf" => experiments::perf::run(&opts),
             "memory" => experiments::memory::run(&opts),
+            "net" => experiments::net::run(&opts),
             "smoke" => experiments::smoke::run(&opts),
             _ => usage(),
         };

@@ -29,7 +29,7 @@ use pama_core::policy::Pama;
 use pama_faults::{
     BackendConfig, Fault, FaultSchedule, GroupPenaltyModel, RetryPolicy, TraceChaos,
 };
-use pama_kv::CacheBuilder;
+use pama_kv::{CacheBuilder, SetOptions};
 use pama_trace::{codec, Op, PenaltyEstimator, Trace};
 use pama_util::SimDuration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -306,19 +306,19 @@ fn scenario_backend_brownout(opts: &ExpOptions) -> ExpResult {
         let key_id = if r % 4 == 0 { r % 50_000 } else { r % 400 };
         let key = format!("chaos-{key_id}");
         if cache.get(key.as_bytes()).is_none() {
-            cache.set(key.as_bytes(), &value, None);
+            let _ = cache.set(key.as_bytes(), &value, &SetOptions::default());
         }
         if i % 6_000 == 0 {
-            let s = cache.stats();
+            let s = cache.report().cache;
             println!(
                 "chaos[brownout] @{i}: misses {} backend failures {} retries {}",
                 s.misses, s.backend_failures, s.backend_retries
             );
         }
     }
-    let s = cache.stats();
+    let s = cache.report().cache;
     // The cache must still serve reads and writes after the outage.
-    cache.set(b"post-outage", b"ok", None);
+    let _ = cache.set(b"post-outage", b"ok", &SetOptions::default());
     let alive = cache.get(b"post-outage").as_deref() == Some(&b"ok"[..]);
     println!(
         "chaos[brownout]: {} fetches, {} failures, {} retries, {} µs simulated backend time",

@@ -36,7 +36,7 @@
 use crate::experiments::{ExpOptions, ExpResult};
 use crate::output::ShapeCheck;
 use pama_core::policy::PamaConfig;
-use pama_kv::CacheBuilder;
+use pama_kv::{CacheBuilder, SetOptions};
 use pama_util::json::{obj, Json};
 use pama_util::{SimDuration, Xoshiro256StarStar};
 use pama_workloads::zipf::ZipfApprox;
@@ -175,11 +175,10 @@ fn run_mode(setup: &Setup, heap: bool) -> Json {
         if cache.get(key).is_none() {
             serial += 1;
             let base = base_len(i as u64);
-            cache.set_with_penalty(
+            let _ = cache.set(
                 key,
                 &setup.payload[..versioned_len(base, i as u64, serial)],
-                penalty_of(base),
-                None,
+                &SetOptions::new().penalty(penalty_of(base)),
             );
         }
     }
@@ -194,11 +193,10 @@ fn run_mode(setup: &Setup, heap: bool) -> Json {
             let key = setup.keys[k].as_slice();
             if cache.get(key).is_none() {
                 serial += 1;
-                cache.set_with_penalty(
+                let _ = cache.set(
                     key,
                     &setup.payload[..versioned_len(SHIFTED_BYTES, k as u64, serial)],
-                    SimDuration::from_millis(800),
-                    None,
+                    &SetOptions::new().penalty(SimDuration::from_millis(800)),
                 );
             }
         }
@@ -207,11 +205,10 @@ fn run_mode(setup: &Setup, heap: bool) -> Json {
             if cache.get(key).is_none() && i as usize >= setup.hot_keys {
                 serial += 1;
                 let base = base_len(i as u64);
-                cache.set_with_penalty(
+                let _ = cache.set(
                     key,
                     &setup.payload[..versioned_len(base, i as u64, serial)],
-                    penalty_of(base),
-                    None,
+                    &SetOptions::new().penalty(penalty_of(base)),
                 );
             }
         }
@@ -219,7 +216,7 @@ fn run_mode(setup: &Setup, heap: bool) -> Json {
 
     let rss_after = rss_bytes();
     cache.check_invariants().expect("cache invariants after workload");
-    let stats = cache.stats();
+    let stats = cache.report().cache;
     let rss_delta = match (rss_before, rss_after) {
         (Some(b), Some(a)) => Some(a.saturating_sub(b)),
         _ => None,
@@ -239,9 +236,9 @@ fn run_mode(setup: &Setup, heap: bool) -> Json {
         ("overhead_per_item_bytes", overhead.map_or(Json::Null, Json::F64)),
     ];
     if heap {
-        assert!(cache.slab_stats().is_none(), "heap baseline must not report slab stats");
+        assert!(cache.report().slabs.is_none(), "heap baseline must not report slab stats");
     } else {
-        let slabs = cache.slab_stats().expect("arena mode reports slab stats");
+        let slabs = cache.report().slabs.expect("arena mode reports slab stats");
         let class_rows = Json::Arr(
             slabs
                 .classes

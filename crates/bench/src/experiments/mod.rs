@@ -15,6 +15,7 @@
 //! | `presets` | USR/SYS/VAR: the paper's workload-selection rationale | [`presets`] |
 //! | `perf` | kv GET/SET throughput + hit latency (extension) | [`perf`] |
 //! | `memory` | kv per-item overhead & fragmentation (extension) | [`memory`] |
+//! | `net` | loopback pamad throughput & pipelining (extension) | [`net`] |
 //! | `smoke` | 30-second end-to-end sanity run | [`smoke`] |
 
 pub mod ablation;
@@ -26,6 +27,7 @@ pub mod etc;
 pub mod extended;
 pub mod fig1;
 pub mod memory;
+pub mod net;
 pub mod perf;
 pub mod presets;
 pub mod sensitivity;

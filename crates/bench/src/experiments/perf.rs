@@ -21,7 +21,7 @@
 
 use crate::experiments::{ExpOptions, ExpResult};
 use crate::output::ShapeCheck;
-use pama_kv::{CacheBuilder, PamaCache};
+use pama_kv::{CacheBuilder, PamaCache, SetOptions};
 use pama_util::json::{obj, Json};
 use pama_util::Xoshiro256StarStar;
 use pama_workloads::zipf::ZipfApprox;
@@ -53,7 +53,7 @@ fn build_cache(setup: &Setup, exclusive: bool) -> PamaCache {
     for chunk in setup.keys.chunks(1024) {
         let items: Vec<(&[u8], &[u8])> =
             chunk.iter().map(|k| (k.as_slice(), &setup.value[..])).collect();
-        cache.multi_set(&items, None);
+        cache.multi_set(&items, &SetOptions::default()).expect("prefill multi_set");
     }
     cache
 }
@@ -96,7 +96,11 @@ fn run_sets(cache: &PamaCache, setup: &Setup, threads: usize) -> f64 {
         for chunk in setup.set_seq.chunks(chunk_len) {
             s.spawn(move || {
                 for &i in chunk {
-                    cache.set(setup.keys[i as usize].as_slice(), &setup.value, None);
+                    let _ = cache.set(
+                        setup.keys[i as usize].as_slice(),
+                        &setup.value,
+                        &SetOptions::default(),
+                    );
                 }
             });
         }

@@ -67,6 +67,67 @@ impl FaultSchedule {
         self
     }
 
+    /// Parses a compact CLI spec: comma-separated entries of
+    ///
+    /// * `outage:FROM-UNTIL` — total outage over `[FROM, UNTIL)`,
+    /// * `storm:FROM-UNTILxFACTOR` — latency ×`FACTOR` over the range,
+    /// * `shift:AT+ROTATE` — penalty-band rotation from serial `AT`,
+    ///
+    /// where every number is a request serial. Example:
+    /// `outage:1000-2000,storm:3000-4000x10,shift:5000+2`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        fn num(s: &str, what: &str) -> Result<u64, String> {
+            s.trim().parse().map_err(|_| format!("{what}: expected a number, got `{s}`"))
+        }
+        fn range(s: &str, entry: &str) -> Result<(u64, u64), String> {
+            let (a, b) = s
+                .split_once('-')
+                .ok_or_else(|| format!("fault `{entry}`: expected FROM-UNTIL"))?;
+            let (from, until) = (num(a, entry)?, num(b, entry)?);
+            if from >= until {
+                return Err(format!("fault `{entry}`: empty interval {from}-{until}"));
+            }
+            Ok((from, until))
+        }
+
+        let mut schedule = Self::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, args) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{entry}`: expected KIND:ARGS"))?;
+            let fault = match kind {
+                "outage" => {
+                    let (from, until) = range(args, entry)?;
+                    Fault::Outage { from, until }
+                }
+                "storm" => {
+                    let (span, factor) = args.split_once('x').ok_or_else(|| {
+                        format!("fault `{entry}`: expected FROM-UNTILxFACTOR")
+                    })?;
+                    let (from, until) = range(span, entry)?;
+                    let factor = num(factor, entry)?;
+                    Fault::LatencyStorm {
+                        from,
+                        until,
+                        factor: u32::try_from(factor.max(1)).unwrap_or(u32::MAX),
+                    }
+                }
+                "shift" => {
+                    let (at, rotate) = args
+                        .split_once('+')
+                        .ok_or_else(|| format!("fault `{entry}`: expected AT+ROTATE"))?;
+                    Fault::PenaltyShift {
+                        at: num(at, entry)?,
+                        rotate: u32::try_from(num(rotate, entry)?).unwrap_or(u32::MAX),
+                    }
+                }
+                other => return Err(format!("unknown fault kind `{other}` in `{entry}`")),
+            };
+            schedule.faults.push(fault);
+        }
+        Ok(schedule)
+    }
+
     fn outage_active(&self, serial: u64) -> bool {
         self.faults.iter().any(
             |f| matches!(f, Fault::Outage { from, until } if (*from..*until).contains(&serial)),
@@ -361,6 +422,24 @@ mod tests {
             assert_eq!(a.fetch(serial * 7, serial), b.fetch(serial * 7, serial));
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn parse_round_trips_every_fault_kind() {
+        let s = FaultSchedule::parse("outage:1000-2000, storm:3000-4000x10, shift:5000+2")
+            .expect("valid spec");
+        assert_eq!(
+            s.faults,
+            vec![
+                Fault::Outage { from: 1000, until: 2000 },
+                Fault::LatencyStorm { from: 3000, until: 4000, factor: 10 },
+                Fault::PenaltyShift { at: 5000, rotate: 2 },
+            ]
+        );
+        assert!(FaultSchedule::parse("").expect("empty spec").faults.is_empty());
+        for bad in ["outage:9", "outage:5-5", "storm:1-2", "storm:1-2xq", "wat:1-2", "outage"] {
+            assert!(FaultSchedule::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]

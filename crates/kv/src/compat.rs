@@ -1,0 +1,82 @@
+//! Deprecated shims for the pre-`SetOptions` API.
+//!
+//! One release of grace: `set_with_penalty` folds into
+//! [`crate::SetOptions::penalty`], and the `stats()` / `slab_stats()`
+//! split folds into [`crate::PamaCache::report`]. The old positional
+//! `set(key, value, ttl)` cannot be shimmed — the redesigned `set`
+//! takes its place under the same name — so its callers migrate by
+//! compile error, which is the point.
+//!
+//! The crate root carries `#![deny(deprecated)]`; this module is the
+//! only place allowed to mention these names.
+#![allow(deprecated)]
+
+use crate::{CacheStats, PamaCache, SetOptions, SlabReport};
+use pama_util::SimDuration;
+
+impl PamaCache {
+    /// Inserts with an explicit regeneration penalty.
+    ///
+    /// Preserves the old infallible contract: a refused set is
+    /// silently dropped, like before the typed-error redesign.
+    #[deprecated(since = "0.4.0", note = "use `set` with `SetOptions::new().penalty(..)`")]
+    pub fn set_with_penalty(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        penalty: SimDuration,
+        ttl: Option<SimDuration>,
+    ) {
+        let mut opts = SetOptions::new().penalty(penalty);
+        opts.ttl = ttl;
+        let _ = self.set(key, value, &opts);
+    }
+
+    /// Aggregated counters across all shards.
+    #[deprecated(since = "0.4.0", note = "use `report().cache`")]
+    pub fn stats(&self) -> CacheStats {
+        self.report().cache
+    }
+
+    /// Detailed slab-arena accounting, `None` in heap-storage mode.
+    #[deprecated(since = "0.4.0", note = "use `report().slabs`")]
+    pub fn slab_stats(&self) -> Option<SlabReport> {
+        self.report().slabs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CacheBuilder, SetOptions};
+    use pama_util::SimDuration;
+
+    /// The shims must stay observationally identical to the calls
+    /// they forward to.
+    #[test]
+    fn shims_match_the_new_api() {
+        let old = CacheBuilder::new().total_bytes(4 << 20).slab_bytes(64 << 10).build();
+        let new = CacheBuilder::new().total_bytes(4 << 20).slab_bytes(64 << 10).build();
+        for i in 0..32u32 {
+            let key = format!("k{i}");
+            let penalty = SimDuration::from_millis(u64::from(i) + 1);
+            old.set_with_penalty(key.as_bytes(), b"v", penalty, None);
+            new.set(key.as_bytes(), b"v", &SetOptions::new().penalty(penalty)).unwrap();
+        }
+        let (os, ns) = (old.stats(), new.report().cache);
+        assert_eq!(os.sets, ns.sets);
+        assert_eq!(os.items, ns.items);
+        assert_eq!(os.live_bytes, ns.live_bytes);
+        assert_eq!(old.slab_stats(), new.report().slabs);
+    }
+
+    /// The old contract: an impossible set is dropped without a panic
+    /// and without a `Result` to look at.
+    #[test]
+    fn shim_swallows_refusals() {
+        let c = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(1).build();
+        let huge = vec![0u8; 80 << 10];
+        c.set_with_penalty(b"huge", &huge, SimDuration::from_secs(1), None);
+        assert!(!c.contains(b"huge"));
+        assert_eq!(c.stats().rejected, 1);
+    }
+}

@@ -14,8 +14,8 @@
 //!   paper's subclass / segment-value machinery;
 //! * **live penalty estimation**: the cache measures each key's
 //!   GET-miss→SET gap (the paper's §IV estimator, run online) so
-//!   callers never need to supply costs — though they can
-//!   ([`PamaCache::set_with_penalty`]);
+//!   callers never need to supply costs — though they can, through
+//!   [`SetOptions::penalty`];
 //! * **TTL support** with lazy expiry;
 //! * **sharding** for concurrency: keys hash to independent shards,
 //!   each running its own PAMA instance;
@@ -28,13 +28,13 @@
 //!   lock once.
 //!
 //! ```
-//! use pama_kv::{CacheBuilder, PamaCache};
+//! use pama_kv::{CacheBuilder, PamaCache, SetOptions};
 //!
 //! let cache: PamaCache = CacheBuilder::new()
 //!     .total_bytes(8 << 20)
 //!     .shards(4)
 //!     .build();
-//! cache.set(b"user:42", b"{\"name\":\"ada\"}", None);
+//! cache.set(b"user:42", b"{\"name\":\"ada\"}", &SetOptions::default()).unwrap();
 //! assert_eq!(cache.get(b"user:42").as_deref(), Some(&b"{\"name\":\"ada\"}"[..]));
 //! cache.delete(b"user:42");
 //! assert!(cache.get(b"user:42").is_none());
@@ -42,13 +42,17 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(deprecated)] // the old API lives on only inside `compat`
 
+mod compat;
 mod log;
+mod options;
 mod shard;
 mod stats;
 
+pub use options::{CacheError, CacheValue, SetOptions};
 pub use shard::LivePenaltyProbe;
-pub use stats::{CacheStats, SlabClassReport, SlabReport};
+pub use stats::{merge_all, CacheReport, CacheStats, Merge, SlabClassReport, SlabReport};
 
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, ConfigError};
@@ -57,6 +61,7 @@ use pama_faults::{BackendConfig, BackendSim};
 use pama_util::hash::hash_bytes;
 use pama_util::SimDuration;
 use shard::{Shard, ShardCell};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -193,6 +198,7 @@ impl CacheBuilder {
             mask: self.shards as u64 - 1,
             epoch: Instant::now(),
             default_ttl: self.default_ttl,
+            closed: AtomicBool::new(false),
         })
     }
 
@@ -216,6 +222,9 @@ pub struct PamaCache {
     mask: u64,
     epoch: Instant,
     default_ttl: Option<SimDuration>,
+    /// Set by [`PamaCache::close`]: mutations are refused with
+    /// [`CacheError::ShuttingDown`] while reads keep draining.
+    closed: AtomicBool,
 }
 
 impl PamaCache {
@@ -249,37 +258,69 @@ impl PamaCache {
     /// key: if a `set` follows shortly, the gap becomes the key's
     /// measured regeneration penalty (the paper's estimator, live).
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.lookup(key).map(|v| v.value)
+    }
+
+    /// Like [`Self::get`] but returns the stored metadata too — the
+    /// opaque `flags` word and the CAS stamp the Memcached `gets`
+    /// command reports.
+    pub fn lookup(&self, key: &[u8]) -> Option<CacheValue> {
         let h = hash_key(key);
         self.shard_of(h).get(h, key, self.now())
     }
 
-    /// Inserts or updates a key with the default TTL. The regeneration
-    /// penalty is taken from the live estimator when a probe window is
-    /// open, else the key's previous estimate, else the configured
-    /// default (100 ms).
-    pub fn set(&self, key: &[u8], value: &[u8], ttl: Option<SimDuration>) {
-        let h = hash_key(key);
-        self.shard_of(h).set(h, key, value, ttl.or(self.default_ttl), None, self.now());
-    }
-
-    /// Inserts or updates a key with an explicit regeneration penalty
-    /// (callers that know their back-end cost can skip estimation).
-    pub fn set_with_penalty(
-        &self,
-        key: &[u8],
-        value: &[u8],
-        penalty: SimDuration,
-        ttl: Option<SimDuration>,
-    ) {
+    /// Inserts or updates a key. TTL, explicit penalty, and flags come
+    /// from `opts` ([`SetOptions::default`] = builder-default TTL,
+    /// live-estimated penalty, zero flags). The regeneration penalty
+    /// is taken from `opts.penalty` when given, else the live
+    /// estimator's open probe window, else the key's previous
+    /// estimate, else the configured default (100 ms).
+    ///
+    /// On error the key is left **absent** (any previous generation is
+    /// dropped before placement), so callers never read stale values
+    /// after a refused write.
+    pub fn set(&self, key: &[u8], value: &[u8], opts: &SetOptions) -> Result<(), CacheError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(CacheError::ShuttingDown);
+        }
         let h = hash_key(key);
         self.shard_of(h).set(
             h,
             key,
             value,
-            ttl.or(self.default_ttl),
-            Some(penalty),
+            opts.ttl.or(self.default_ttl),
+            opts.penalty,
+            opts.flags,
             self.now(),
-        );
+        )
+    }
+
+    /// Inserts a key only if it is not already live — Memcached `add`.
+    /// `Ok(false)` means the key was present (the protocol's
+    /// `NOT_STORED`); an expired or colliding previous generation does
+    /// not block the insert.
+    pub fn add(&self, key: &[u8], value: &[u8], opts: &SetOptions) -> Result<bool, CacheError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(CacheError::ShuttingDown);
+        }
+        let h = hash_key(key);
+        self.shard_of(h).add(
+            h,
+            key,
+            value,
+            opts.ttl.or(self.default_ttl),
+            opts.penalty,
+            opts.flags,
+            self.now(),
+        )
+    }
+
+    /// Refreshes a live key's TTL (`None` removes the expiry) and
+    /// promotes it, without touching the value — Memcached `touch`.
+    /// Returns whether the key was live.
+    pub fn touch(&self, key: &[u8], ttl: Option<SimDuration>) -> bool {
+        let h = hash_key(key);
+        self.shard_of(h).touch(h, key, ttl, self.now())
     }
 
     /// Removes a key. Returns whether it was present.
@@ -301,6 +342,12 @@ impl PamaCache {
     /// misses) regardless of batch size — observationally equivalent
     /// to calling [`Self::get`] per key.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Bytes>> {
+        self.multi_lookup(keys).into_iter().map(|v| v.map(|v| v.value)).collect()
+    }
+
+    /// Batched [`Self::lookup`]: values with flags and CAS stamps, in
+    /// input order, grouped by shard like [`Self::multi_get`].
+    pub fn multi_lookup(&self, keys: &[&[u8]]) -> Vec<Option<CacheValue>> {
         let now = self.now();
         let mut out = vec![None; keys.len()];
         let mut groups: Vec<Vec<(usize, u64)>> =
@@ -317,23 +364,42 @@ impl PamaCache {
         out
     }
 
-    /// Inserts or updates many key/value pairs at once with a common
-    /// TTL, grouping by shard so each shard's write lock is taken once
-    /// — observationally equivalent to calling [`Self::set`] per pair
-    /// in order.
-    pub fn multi_set(&self, items: &[(&[u8], &[u8])], ttl: Option<SimDuration>) {
+    /// Inserts or updates many key/value pairs at once with common
+    /// options, grouping by shard so each shard's write lock is taken
+    /// once — observationally equivalent to calling [`Self::set`] per
+    /// pair in order. Every pair is attempted even after a failure;
+    /// the error for the lowest-indexed refused pair is returned.
+    pub fn multi_set(
+        &self,
+        items: &[(&[u8], &[u8])],
+        opts: &SetOptions,
+    ) -> Result<(), CacheError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(CacheError::ShuttingDown);
+        }
         let now = self.now();
-        let ttl = ttl.or(self.default_ttl);
+        let ttl = opts.ttl.or(self.default_ttl);
         let mut groups: Vec<Vec<(usize, u64)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (i, (key, _)) in items.iter().enumerate() {
             let h = hash_key(key);
             groups[self.shard_index(h)].push((i, h));
         }
+        let mut first_err: Option<(usize, CacheError)> = None;
         for (cell, group) in self.shards.iter().zip(&groups) {
             if !group.is_empty() {
-                cell.multi_set_group(group, items, ttl, now);
+                if let Some((i, e)) =
+                    cell.multi_set_group(group, items, ttl, opts.penalty, opts.flags, now)
+                {
+                    if first_err.is_none_or(|(j, _)| i < j) {
+                        first_err = Some((i, e));
+                    }
+                }
             }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -349,15 +415,24 @@ impl PamaCache {
         }
     }
 
-    /// Aggregated statistics across all shards. Lock-free: counters
-    /// are atomics read with `Relaxed` loads, so this never blocks (or
-    /// is blocked by) readers and writers.
-    pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
-        for cell in &self.shards {
-            total.merge(&cell.stats());
-        }
-        total
+    /// One consolidated snapshot: aggregated operation counters
+    /// (lock-free atomic reads) plus, in arena mode, the detailed slab
+    /// ledger — slabs and free slots per class, resident vs requested
+    /// bytes, internal fragmentation, transfer counts, and an
+    /// occupancy histogram. `slabs` is `None` in heap-storage mode.
+    ///
+    /// The slab walk takes each shard's read lock briefly, so call
+    /// this at reporting cadence rather than per request. Both halves
+    /// aggregate through the shared [`Merge`] trait.
+    pub fn report(&self) -> CacheReport {
+        let cache = merge_all(self.shards.iter().map(|cell| cell.stats())).unwrap_or_default();
+        let slabs = self
+            .shards
+            .iter()
+            .map(|cell| cell.slab_report())
+            .collect::<Option<Vec<_>>>()
+            .and_then(merge_all);
+        CacheReport { cache, slabs }
     }
 
     /// Number of shards.
@@ -365,22 +440,25 @@ impl PamaCache {
         self.shards.len()
     }
 
-    /// Detailed slab-arena accounting aggregated across shards —
-    /// slabs and free slots per class, resident vs requested bytes,
-    /// internal fragmentation, transfer counts, and an occupancy
-    /// histogram. Returns `None` in heap-storage mode. Takes each
-    /// shard's read lock briefly and walks slab metadata, so call it
-    /// at reporting cadence rather than per request.
-    pub fn slab_stats(&self) -> Option<SlabReport> {
-        let mut total: Option<SlabReport> = None;
-        for cell in &self.shards {
-            let report = cell.slab_report()?;
-            match &mut total {
-                None => total = Some(report),
-                Some(t) => t.merge(&report),
-            }
-        }
-        total
+    /// Drops every entry in every shard — Memcached `flush_all`.
+    /// Returns the number of items removed. Penalty estimates survive:
+    /// they are knowledge about keys, not about the flushed values.
+    pub fn clear(&self) -> u64 {
+        let now = self.now();
+        self.shards.iter().map(|cell| cell.clear(now)).sum()
+    }
+
+    /// Begins shutdown: subsequent mutations fail with
+    /// [`CacheError::ShuttingDown`] while reads keep draining, so a
+    /// server front end can finish in-flight GETs during its grace
+    /// period. Irreversible.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
     }
 
     /// Runs an expiry sweep over every shard, removing entries whose
@@ -415,9 +493,9 @@ mod tests {
     fn get_set_delete_roundtrip() {
         let c = small();
         assert!(c.get(b"k").is_none());
-        c.set(b"k", b"value-1", None);
+        c.set(b"k", b"value-1", &SetOptions::default()).unwrap();
         assert_eq!(c.get(b"k").as_deref(), Some(&b"value-1"[..]));
-        c.set(b"k", b"value-2", None);
+        c.set(b"k", b"value-2", &SetOptions::default()).unwrap();
         assert_eq!(c.get(b"k").as_deref(), Some(&b"value-2"[..]));
         assert!(c.delete(b"k"));
         assert!(!c.delete(b"k"));
@@ -427,10 +505,10 @@ mod tests {
     #[test]
     fn stats_count_hits_and_misses() {
         let c = small();
-        c.set(b"a", b"1", None);
+        c.set(b"a", b"1", &SetOptions::default()).unwrap();
         let _ = c.get(b"a"); // hit
         let _ = c.get(b"b"); // miss
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert_eq!(s.sets, 1);
@@ -443,9 +521,9 @@ mod tests {
         let c = CacheBuilder::new().shards(3).build(); // rounds to 4
         assert_eq!(c.num_shards(), 4);
         for i in 0..100u32 {
-            c.set(format!("key-{i}").as_bytes(), b"x", None);
+            c.set(format!("key-{i}").as_bytes(), b"x", &SetOptions::default()).unwrap();
         }
-        assert_eq!(c.stats().items, 100);
+        assert_eq!(c.report().cache.items, 100);
     }
 
     #[test]
@@ -453,9 +531,9 @@ mod tests {
         let c = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(1).build();
         let value = vec![0u8; 4000];
         for i in 0..2_000u32 {
-            c.set(format!("bulk-{i}").as_bytes(), &value, None);
+            c.set(format!("bulk-{i}").as_bytes(), &value, &SetOptions::default()).unwrap();
         }
-        let s = c.stats();
+        let s = c.report().cache;
         assert!(s.items < 300, "items {} should be bounded by 1 MiB", s.items);
         assert!(s.evictions > 0);
         // freshest items survive
@@ -464,19 +542,132 @@ mod tests {
     }
 
     #[test]
-    fn oversized_values_are_refused() {
+    fn oversized_values_are_refused_with_a_typed_error() {
         let c = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(1).build();
         let huge = vec![0u8; 80 << 10]; // > one slab
-        c.set(b"huge", &huge, None);
+        let err = c.set(b"huge", &huge, &SetOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, CacheError::ValueTooLarge { max_bytes: 65_536, .. }),
+            "want ValueTooLarge, got {err:?}"
+        );
         assert!(!c.contains(b"huge"));
-        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.report().cache.rejected, 1);
+        // An oversized overwrite drops the previous generation rather
+        // than leaving a stale value behind.
+        c.set(b"k", b"old", &SetOptions::default()).unwrap();
+        assert!(c.set(b"k", &huge, &SetOptions::default()).is_err());
+        assert!(c.get(b"k").is_none(), "refused set must not leave the old value");
+        // multi_set reports the lowest-indexed refused pair.
+        let items: Vec<(&[u8], &[u8])> = vec![
+            (b"a".as_slice(), b"1".as_slice()),
+            (b"big".as_slice(), huge.as_slice()),
+            (b"b".as_slice(), b"2".as_slice()),
+        ];
+        let err = c.multi_set(&items, &SetOptions::default()).unwrap_err();
+        assert!(matches!(err, CacheError::ValueTooLarge { .. }));
+        assert!(c.contains(b"a") && c.contains(b"b"), "other pairs still land");
+    }
+
+    #[test]
+    fn flags_and_cas_round_trip() {
+        let c = small();
+        c.set(b"k", b"v1", &SetOptions::new().flags(0xBEEF)).unwrap();
+        let first = c.lookup(b"k").unwrap();
+        assert_eq!(first.value.as_ref(), b"v1");
+        assert_eq!(first.flags, 0xBEEF);
+        // A rewrite advances the CAS stamp and replaces the flags.
+        c.set(b"k", b"v2", &SetOptions::new().flags(7)).unwrap();
+        let second = c.lookup(b"k").unwrap();
+        assert_eq!(second.flags, 7);
+        assert!(second.cas > first.cas, "CAS must advance on rewrite");
+        // multi_lookup agrees with lookup.
+        let got = c.multi_lookup(&[b"k".as_slice(), b"absent".as_slice()]);
+        assert_eq!(got[0].as_ref(), Some(&second));
+        assert!(got[1].is_none());
+    }
+
+    #[test]
+    fn add_stores_only_absent_keys() {
+        let c = small();
+        assert!(c.add(b"k", b"first", &SetOptions::default()).unwrap());
+        assert!(!c.add(b"k", b"second", &SetOptions::default()).unwrap(), "NOT_STORED");
+        assert_eq!(c.get(b"k").as_deref(), Some(&b"first"[..]));
+        // An expired generation does not block an add.
+        c.set(b"dying", b"x", &SetOptions::new().ttl(SimDuration::ZERO)).unwrap();
+        assert!(c.add(b"dying", b"fresh", &SetOptions::default()).unwrap());
+        assert_eq!(c.get(b"dying").as_deref(), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn touch_refreshes_ttl() {
+        let c = small();
+        c.set(b"k", b"v", &SetOptions::new().ttl(SimDuration::from_secs(3600))).unwrap();
+        assert!(c.touch(b"k", None), "live key must be touchable");
+        assert!(c.contains(b"k"));
+        // Touching down to an already-elapsed TTL expires the key.
+        assert!(c.touch(b"k", Some(SimDuration::ZERO)));
+        assert!(!c.contains(b"k"));
+        assert!(!c.touch(b"absent", None));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let c = small();
+        for i in 0..100u32 {
+            c.set(format!("k{i}").as_bytes(), b"v", &SetOptions::default()).unwrap();
+        }
+        assert_eq!(c.clear(), 100);
+        let s = c.report().cache;
+        assert_eq!(s.items, 0);
+        assert_eq!(s.live_bytes, 0);
+        assert!(!c.contains(b"k0"));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn close_refuses_mutations_but_serves_reads() {
+        let c = small();
+        c.set(b"k", b"v", &SetOptions::default()).unwrap();
+        assert!(!c.is_closed());
+        c.close();
+        assert!(c.is_closed());
+        assert_eq!(c.set(b"k2", b"v", &SetOptions::default()), Err(CacheError::ShuttingDown));
+        assert_eq!(
+            c.multi_set(&[(b"k3".as_slice(), b"v".as_slice())], &SetOptions::default()),
+            Err(CacheError::ShuttingDown)
+        );
+        assert_eq!(c.add(b"k4", b"v", &SetOptions::default()), Err(CacheError::ShuttingDown));
+        // Reads drain to the end.
+        assert_eq!(c.get(b"k").as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn report_merges_both_halves_once() {
+        let c = small();
+        c.set(b"a", b"1", &SetOptions::default()).unwrap();
+        let r = c.report();
+        assert_eq!(r.cache.items, 1);
+        let slabs = r.slabs.expect("arena mode reports slabs");
+        assert_eq!(slabs.live_items, 1);
+        // Heap mode: same call, no slab half.
+        let h = CacheBuilder::new()
+            .total_bytes(4 << 20)
+            .slab_bytes(64 << 10)
+            .shards(2)
+            .heap_storage(true)
+            .build();
+        h.set(b"a", b"1", &SetOptions::default()).unwrap();
+        let hr = h.report();
+        assert_eq!(hr.cache.items, 1);
+        assert!(hr.slabs.is_none());
     }
 
     #[test]
     fn different_keys_do_not_collide_logically() {
         let c = small();
-        c.set(b"alpha", b"A", None);
-        c.set(b"beta", b"B", None);
+        c.set(b"alpha", b"A", &SetOptions::default()).unwrap();
+        c.set(b"beta", b"B", &SetOptions::default()).unwrap();
         assert_eq!(c.get(b"alpha").as_deref(), Some(&b"A"[..]));
         assert_eq!(c.get(b"beta").as_deref(), Some(&b"B"[..]));
     }
@@ -525,14 +716,14 @@ mod tests {
         for i in 0..100u32 {
             assert!(c.get(format!("k{i}").as_bytes()).is_none());
         }
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.misses, 100);
         assert_eq!(s.backend_fetches, 100);
         assert_eq!(s.backend_failures, 100, "every fetch times out under a total outage");
         assert_eq!(s.backend_retries, 100, "one retry per fetch at max_attempts = 2");
         assert!(s.backend_time_us > 0);
         // The cache itself still works: writes land, reads hit.
-        c.set(b"still-alive", b"yes", None);
+        c.set(b"still-alive", b"yes", &SetOptions::default()).unwrap();
         assert_eq!(c.get(b"still-alive").as_deref(), Some(&b"yes"[..]));
     }
 
@@ -549,9 +740,9 @@ mod tests {
         for i in 0..50u32 {
             let key = format!("k{i}");
             let _ = c.get(key.as_bytes()); // miss → simulated fetch
-            c.set(key.as_bytes(), b"v", None);
+            c.set(key.as_bytes(), b"v", &SetOptions::default()).unwrap();
         }
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.backend_fetches, 50);
         assert_eq!(s.backend_failures, 0);
         assert_eq!(s.measured_penalties, 50);
@@ -573,13 +764,13 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..2_000u32 {
                         let key = format!("t{t}-{i}");
-                        c.set(key.as_bytes(), key.as_bytes(), None);
+                        c.set(key.as_bytes(), key.as_bytes(), &SetOptions::default()).unwrap();
                         assert_eq!(c.get(key.as_bytes()).as_deref(), Some(key.as_bytes()));
                     }
                 });
             }
         });
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.sets, 8_000);
         assert!(s.hits >= 1);
         c.check_invariants().unwrap();
@@ -589,7 +780,12 @@ mod tests {
     fn multi_get_matches_single_gets() {
         let c = small();
         for i in 0..64u32 {
-            c.set(format!("m{i}").as_bytes(), format!("v{i}").as_bytes(), None);
+            c.set(
+                format!("m{i}").as_bytes(),
+                format!("v{i}").as_bytes(),
+                &SetOptions::default(),
+            )
+            .unwrap();
         }
         let owned: Vec<Vec<u8>> = (0..80u32).map(|i| format!("m{i}").into_bytes()).collect();
         let keys: Vec<&[u8]> = owned.iter().map(|k| k.as_slice()).collect();
@@ -601,7 +797,7 @@ mod tests {
                 assert!(v.is_none(), "key m{i} was never set");
             }
         }
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.hits, 64);
         assert_eq!(s.misses, 16);
         c.check_invariants().unwrap();
@@ -615,8 +811,8 @@ mod tests {
             .collect();
         let items: Vec<(&[u8], &[u8])> =
             owned.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
-        c.multi_set(&items, None);
-        let s = c.stats();
+        c.multi_set(&items, &SetOptions::default()).unwrap();
+        let s = c.report().cache;
         assert_eq!(s.sets, 50);
         assert_eq!(s.items, 50);
         for (k, v) in &owned {
@@ -628,12 +824,12 @@ mod tests {
     #[test]
     fn flush_applies_deferred_promotions() {
         let c = CacheBuilder::new().total_bytes(4 << 20).slab_bytes(64 << 10).shards(1).build();
-        c.set(b"hot", b"v", None);
+        c.set(b"hot", b"v", &SetOptions::default()).unwrap();
         for _ in 0..10 {
             assert!(c.get(b"hot").is_some());
         }
         c.flush();
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.hits, 10);
         assert_eq!(s.deferred_hits, 10, "flush must apply every logged hit");
         c.check_invariants().unwrap();
@@ -647,11 +843,11 @@ mod tests {
             .shards(1)
             .exclusive_lock(true)
             .build();
-        c.set(b"k", b"v", None);
+        c.set(b"k", b"v", &SetOptions::default()).unwrap();
         for _ in 0..5 {
             assert!(c.get(b"k").is_some());
         }
-        let s = c.stats();
+        let s = c.report().cache;
         assert_eq!(s.hits, 5);
         assert_eq!(s.deferred_hits, 0, "exclusive mode never defers");
         assert_eq!(s.deferred_dropped, 0);

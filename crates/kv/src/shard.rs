@@ -22,6 +22,7 @@
 //! produced.
 
 use crate::log::AccessLog;
+use crate::options::{CacheError, CacheValue};
 use crate::stats::{ShardCounters, SlabClassReport, SlabReport};
 use bytes::Bytes;
 use pama_core::config::{CacheConfig, Tick};
@@ -56,11 +57,14 @@ enum EntryLoc {
 }
 
 /// A stored entry: where its bytes live (the slot stores the full key
-/// for collision rejection) and the expiry, if any.
+/// for collision rejection), the expiry, if any, and the wire-protocol
+/// metadata (opaque flags, store-order CAS stamp).
 #[derive(Debug, Clone)]
 struct Entry {
     loc: EntryLoc,
     expires: Option<SimTime>,
+    flags: u32,
+    cas: u64,
 }
 
 /// The shard's byte store: a slab arena kept in lockstep with the
@@ -107,6 +111,10 @@ pub(crate) struct Shard {
     storage: Storage,
     estimates: FastMap<u64, SimDuration>,
     probes: FastMap<u64, Probe>,
+    /// Shard geometry, kept so `set` can tell "can never fit"
+    /// ([`CacheError::ValueTooLarge`]) apart from "no room right now"
+    /// before consulting the policy.
+    cfg: CacheConfig,
     serial: u64,
     /// Optional simulated backing store. When present, every GET miss
     /// drives a fetch through it — retries, timeouts, and outages
@@ -127,7 +135,7 @@ impl Shard {
         cfg.demand_fill = false;
         let storage =
             if heap_storage { Storage::Heap } else { Storage::Arena(SlabArena::new(&cfg)) };
-        let mut policy = Pama::with_config(cfg, pama);
+        let mut policy = Pama::with_config(cfg.clone(), pama);
         // Both storage modes replay the policy's decisions: the arena
         // acts on all of them, the heap baseline only on evictions
         // (grants and moves are physical-layout events it doesn't
@@ -140,6 +148,7 @@ impl Shard {
             storage,
             estimates: FastMap::with_capacity_and_hasher(max_items, Default::default()),
             probes: FastMap::with_capacity_and_hasher(max_items.min(4096), Default::default()),
+            cfg,
             serial: 0,
             backend: None,
         }
@@ -241,9 +250,12 @@ impl Shard {
     /// copy-out. No mutation — recency bookkeeping is the caller's job
     /// (via the access log), and reading a slot never touches the
     /// ledger.
-    pub fn read_hit(&self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+    pub fn read_hit(&self, h: u64, key: &[u8], now: SimTime) -> Option<CacheValue> {
         match self.entries.get(&h) {
-            Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => self.value_of(e),
+            Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => {
+                let value = self.value_of(e)?;
+                Some(CacheValue { value, flags: e.flags, cas: e.cas })
+            }
             _ => None,
         }
     }
@@ -278,10 +290,11 @@ impl Shard {
         key: &[u8],
         now: SimTime,
         c: &ShardCounters,
-    ) -> Option<Bytes> {
+    ) -> Option<CacheValue> {
         let tick = self.tick(now);
         match self.entries.get(&h) {
             Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => {
+                let (flags, cas) = (e.flags, e.cas);
                 let value = self.value_of(e)?;
                 // Keep the policy's recency bookkeeping in step. The
                 // request's sizes mirror the stored entry.
@@ -289,7 +302,7 @@ impl Shard {
                 let out = self.policy.on_get(&req, tick);
                 debug_assert!(out.hit, "policy lost a stored key");
                 ShardCounters::bump(&c.hits);
-                Some(value)
+                Some(CacheValue { value, flags, cas })
             }
             Some(_) => {
                 // Hash collision with a different key, or expired: treat
@@ -360,19 +373,35 @@ impl Shard {
         value: &[u8],
         ttl: Option<SimDuration>,
         explicit_penalty: Option<SimDuration>,
+        flags: u32,
         now: SimTime,
         c: &ShardCounters,
-    ) {
+    ) -> Result<(), CacheError> {
         let tick = self.tick(now);
         let penalty = self.penalty_for(h, explicit_penalty, now, c);
         // Replace any previous generation (also resolves collisions in
-        // favour of the newest writer).
+        // favour of the newest writer). A refused set therefore leaves
+        // the key absent, never stale.
         if self.entries.contains_key(&h) {
             self.drop_entry(h, now, c);
         }
+        ShardCounters::bump(&c.sets);
+        // Geometry check first: an item no slab class can hold would
+        // be refused by the policy anyway, but the caller deserves to
+        // know that eviction can never help. Same byte rule as
+        // `CacheConfig::class_of` returning `None`.
+        let item_bytes = (key.len() + value.len()) as u64;
+        let footprint = item_bytes + u64::from(self.cfg.item_overhead);
+        if footprint > self.cfg.slab_bytes {
+            ShardCounters::bump(&c.rejected);
+            self.publish_storage_gauges(c);
+            return Err(CacheError::ValueTooLarge {
+                item_bytes: footprint,
+                max_bytes: self.cfg.slab_bytes,
+            });
+        }
         let req =
             Request::set(now, h, key.len() as u32, value.len() as u32).with_penalty(penalty);
-        ShardCounters::bump(&c.sets);
         self.policy.on_set(&req, tick);
         // Replay the policy's storage decisions (evictions, slab
         // grants, slab migrations) into the arena *before* writing the
@@ -383,8 +412,13 @@ impl Shard {
             match self.store_bytes(h, key, value) {
                 Some(loc) => {
                     ShardCounters::bump(&c.items);
-                    ShardCounters::add(&c.live_bytes, (key.len() + value.len()) as u64);
-                    self.entries.insert(h, Entry { loc, expires: ttl.map(|d| now + d) });
+                    ShardCounters::add(&c.live_bytes, item_bytes);
+                    self.entries.insert(
+                        h,
+                        Entry { loc, expires: ttl.map(|d| now + d), flags, cas: self.serial },
+                    );
+                    self.publish_storage_gauges(c);
+                    Ok(())
                 }
                 None => {
                     // The arena disagreed with the ledger — impossible
@@ -395,12 +429,86 @@ impl Shard {
                     let t = Tick { now, serial: self.serial };
                     self.policy.on_delete(&Request::delete(now, h, 0), t);
                     ShardCounters::bump(&c.rejected);
+                    self.publish_storage_gauges(c);
+                    Err(CacheError::CapacityExhausted { item_bytes })
                 }
             }
         } else {
             ShardCounters::bump(&c.rejected);
+            self.publish_storage_gauges(c);
+            Err(CacheError::CapacityExhausted { item_bytes })
+        }
+    }
+
+    /// Memcached `add`: stores only when the key is absent (or its
+    /// previous generation expired). `Ok(false)` — the protocol's
+    /// `NOT_STORED` — when a live entry already exists.
+    #[allow(clippy::too_many_arguments)] // mirrors set() plus shard context
+    pub fn add(
+        &mut self,
+        h: u64,
+        key: &[u8],
+        value: &[u8],
+        ttl: Option<SimDuration>,
+        explicit_penalty: Option<SimDuration>,
+        flags: u32,
+        now: SimTime,
+        c: &ShardCounters,
+    ) -> Result<bool, CacheError> {
+        match self.entry_state(h, key, now) {
+            EntryState::Live => Ok(false),
+            // Absent, expired, or a colliding key: `set` already
+            // resolves each of those in favour of the new writer.
+            _ => self.set(h, key, value, ttl, explicit_penalty, flags, now, c).map(|()| true),
+        }
+    }
+
+    /// Memcached `touch`: refreshes a live entry's TTL (`None` clears
+    /// it) and promotes the key — a touched key is a used key. Returns
+    /// whether the key was live.
+    pub fn touch(
+        &mut self,
+        h: u64,
+        key: &[u8],
+        ttl: Option<SimDuration>,
+        now: SimTime,
+        c: &ShardCounters,
+    ) -> bool {
+        match self.entry_state(h, key, now) {
+            EntryState::Live => {
+                let tick = self.tick(now);
+                let vlen = self
+                    .entries
+                    .get(&h)
+                    .map_or(0, |e| self.stored_len(e).saturating_sub(key.len() as u64));
+                let req = Request::get(now, h, key.len() as u32, vlen as u32);
+                let out = self.policy.on_get(&req, tick);
+                debug_assert!(out.hit, "policy lost a touched key");
+                if let Some(e) = self.entries.get_mut(&h) {
+                    e.expires = ttl.map(|d| now + d);
+                }
+                true
+            }
+            EntryState::Expired => {
+                self.drop_entry(h, now, c);
+                self.publish_storage_gauges(c);
+                false
+            }
+            EntryState::Absent => false,
+        }
+    }
+
+    /// Memcached `flush_all`: drops every entry, returning how many.
+    /// Penalty estimates and probe windows survive — they are
+    /// knowledge about keys, not about the flushed values.
+    pub fn clear(&mut self, now: SimTime, c: &ShardCounters) -> u64 {
+        let keys: Vec<u64> = self.entries.keys().copied().collect();
+        let n = keys.len() as u64;
+        for h in keys {
+            self.drop_entry(h, now, c);
         }
         self.publish_storage_gauges(c);
+        n
     }
 
     /// Writes `key ‖ value` into storage, returning where it landed.
@@ -676,7 +784,7 @@ impl ShardCell {
         self.drain_into(&mut shard, now);
     }
 
-    pub fn get(&self, h: u64, key: &[u8], now: SimTime) -> Option<Bytes> {
+    pub fn get(&self, h: u64, key: &[u8], now: SimTime) -> Option<CacheValue> {
         if !self.exclusive {
             let shard = self.inner.read();
             if let Some(value) = shard.read_hit(h, key, now) {
@@ -694,6 +802,7 @@ impl ShardCell {
         shard.get_locked(h, key, now, &self.counters)
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the shard call it forwards
     pub fn set(
         &self,
         h: u64,
@@ -701,13 +810,48 @@ impl ShardCell {
         value: &[u8],
         ttl: Option<SimDuration>,
         explicit_penalty: Option<SimDuration>,
+        flags: u32,
         now: SimTime,
-    ) {
+    ) -> Result<(), CacheError> {
         let mut shard = self.inner.write();
         if !self.exclusive {
             self.drain_into(&mut shard, now);
         }
-        shard.set(h, key, value, ttl, explicit_penalty, now, &self.counters);
+        shard.set(h, key, value, ttl, explicit_penalty, flags, now, &self.counters)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the shard call it forwards
+    pub fn add(
+        &self,
+        h: u64,
+        key: &[u8],
+        value: &[u8],
+        ttl: Option<SimDuration>,
+        explicit_penalty: Option<SimDuration>,
+        flags: u32,
+        now: SimTime,
+    ) -> Result<bool, CacheError> {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.add(h, key, value, ttl, explicit_penalty, flags, now, &self.counters)
+    }
+
+    pub fn touch(&self, h: u64, key: &[u8], ttl: Option<SimDuration>, now: SimTime) -> bool {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.touch(h, key, ttl, now, &self.counters)
+    }
+
+    pub fn clear(&self, now: SimTime) -> u64 {
+        let mut shard = self.inner.write();
+        if !self.exclusive {
+            self.drain_into(&mut shard, now);
+        }
+        shard.clear(now, &self.counters)
     }
 
     pub fn delete(&self, h: u64, key: &[u8], now: SimTime) -> bool {
@@ -750,7 +894,7 @@ impl ShardCell {
         &self,
         group: &[(usize, u64)],
         keys: &[&[u8]],
-        out: &mut [Option<Bytes>],
+        out: &mut [Option<CacheValue>],
         now: SimTime,
     ) {
         if self.exclusive {
@@ -784,22 +928,34 @@ impl ShardCell {
     }
 
     /// Batched SET for items mapping to this shard: one write-lock
-    /// take for the whole group.
+    /// take for the whole group. Every item is attempted; the first
+    /// failure (by input index — groups are built in input order) is
+    /// reported back for [`crate::PamaCache::multi_set`] to surface.
     pub fn multi_set_group(
         &self,
         group: &[(usize, u64)],
         items: &[(&[u8], &[u8])],
         ttl: Option<SimDuration>,
+        explicit_penalty: Option<SimDuration>,
+        flags: u32,
         now: SimTime,
-    ) {
+    ) -> Option<(usize, CacheError)> {
         let mut shard = self.inner.write();
         if !self.exclusive {
             self.drain_into(&mut shard, now);
         }
+        let mut first_err = None;
         for &(i, h) in group {
             let (key, value) = items[i];
-            shard.set(h, key, value, ttl, None, now, &self.counters);
+            if let Err(e) =
+                shard.set(h, key, value, ttl, explicit_penalty, flags, now, &self.counters)
+            {
+                if first_err.is_none() {
+                    first_err = Some((i, e));
+                }
+            }
         }
+        first_err
     }
 
     pub fn stats(&self) -> crate::stats::CacheStats {
@@ -845,7 +1001,7 @@ mod tests {
         let c = ShardCounters::default();
         // miss at t=100ms, refill at t=180ms → 80ms penalty measured
         assert!(s.get_locked(1, b"k", t(100), &c).is_none());
-        s.set(1, b"k", b"v", None, None, t(180), &c);
+        s.set(1, b"k", b"v", None, None, 0, t(180), &c).unwrap();
         assert_eq!(s.estimates.get(&1).copied(), Some(SimDuration::from_millis(80)));
         let st = c.snapshot();
         assert_eq!(st.measured_penalties, 1);
@@ -860,7 +1016,7 @@ mod tests {
         let mut s = shard();
         let c = ShardCounters::default();
         assert!(s.get_locked(2, b"k2", t(0), &c).is_none());
-        s.set(2, b"k2", b"v", None, Some(SimDuration::from_secs(2)), t(50), &c);
+        s.set(2, b"k2", b"v", None, Some(SimDuration::from_secs(2)), 0, t(50), &c).unwrap();
         let meta = s.policy.cache().peek(2).unwrap();
         assert_eq!(meta.penalty, SimDuration::from_secs(2));
     }
@@ -870,7 +1026,7 @@ mod tests {
         let mut s = shard();
         let c = ShardCounters::default();
         assert!(s.get_locked(3, b"k3", t(0), &c).is_none());
-        s.set(3, b"k3", b"v", None, None, t(10_000), &c); // 10 s gap > cap
+        s.set(3, b"k3", b"v", None, None, 0, t(10_000), &c).unwrap(); // 10 s gap > cap
         let meta = s.policy.cache().peek(3).unwrap();
         assert_eq!(meta.penalty, DEFAULT_PENALTY);
     }
@@ -879,7 +1035,7 @@ mod tests {
     fn ttl_expiry_is_lazy_and_sweepable() {
         let mut s = shard();
         let c = ShardCounters::default();
-        s.set(4, b"k4", b"v", Some(SimDuration::from_millis(100)), None, t(0), &c);
+        s.set(4, b"k4", b"v", Some(SimDuration::from_millis(100)), None, 0, t(0), &c).unwrap();
         assert!(matches!(s.entry_state(4, b"k4", t(50)), EntryState::Live));
         assert!(
             matches!(s.entry_state(4, b"k4", t(150)), EntryState::Expired),
@@ -888,7 +1044,7 @@ mod tests {
         s.expire_if_dead(4, b"k4", t(150), &c);
         assert!(matches!(s.entry_state(4, b"k4", t(150)), EntryState::Absent));
         // sweep path
-        s.set(5, b"k5", b"v", Some(SimDuration::from_millis(10)), None, t(200), &c);
+        s.set(5, b"k5", b"v", Some(SimDuration::from_millis(10)), None, 0, t(200), &c).unwrap();
         assert_eq!(s.sweep_expired(t(500), &c), 1);
         assert_eq!(c.snapshot().expired, 1);
     }
@@ -897,11 +1053,14 @@ mod tests {
     fn collision_resolves_to_newest_writer() {
         let mut s = shard();
         let c = ShardCounters::default();
-        s.set(7, b"first", b"A", None, None, t(0), &c);
+        s.set(7, b"first", b"A", None, None, 0, t(0), &c).unwrap();
         // same hash, different key bytes: treated as miss, then overwritten
         assert!(s.get_locked(7, b"second", t(1), &c).is_none());
-        s.set(7, b"second", b"B", None, None, t(2), &c);
-        assert_eq!(s.get_locked(7, b"second", t(3), &c).as_deref(), Some(&b"B"[..]));
+        s.set(7, b"second", b"B", None, None, 0, t(2), &c).unwrap();
+        assert_eq!(
+            s.get_locked(7, b"second", t(3), &c).map(|v| v.value).as_deref(),
+            Some(&b"B"[..])
+        );
         assert!(s.get_locked(7, b"first", t(4), &c).is_none());
         // collisions never reach the read-hit fast path either
         assert!(s.read_hit(7, b"first", t(5)).is_none());
@@ -913,7 +1072,7 @@ mod tests {
         let c = ShardCounters::default();
         let v = vec![0u8; 30_000];
         for i in 0..200u64 {
-            s.set(i, format!("key{i}").as_bytes(), &v, None, None, t(i), &c);
+            let _ = s.set(i, format!("key{i}").as_bytes(), &v, None, None, 0, t(i), &c);
         }
         let st = c.snapshot();
         assert!(st.items < 40, "1 MiB can't hold 200×30 KB: items {}", st.items);
@@ -936,8 +1095,8 @@ mod tests {
         let cd = ShardCounters::default();
         let v = vec![0u8; 100];
         for i in 0..8u64 {
-            inline.set(i, format!("k{i}").as_bytes(), &v, None, None, t(i), &ci);
-            deferred.set(i, format!("k{i}").as_bytes(), &v, None, None, t(i), &cd);
+            inline.set(i, format!("k{i}").as_bytes(), &v, None, None, 0, t(i), &ci).unwrap();
+            deferred.set(i, format!("k{i}").as_bytes(), &v, None, None, 0, t(i), &cd).unwrap();
         }
         // Touch keys 0..4 (oldest first) — inline promotes immediately.
         for i in 0..4u64 {
@@ -952,8 +1111,26 @@ mod tests {
         // Same LRU state: evict pressure must pick the same victims.
         let fill = vec![0u8; 100];
         for i in 100..1200u64 {
-            inline.set(i, format!("f{i}").as_bytes(), &fill, None, None, t(200 + i), &ci);
-            deferred.set(i, format!("f{i}").as_bytes(), &fill, None, None, t(200 + i), &cd);
+            let _ = inline.set(
+                i,
+                format!("f{i}").as_bytes(),
+                &fill,
+                None,
+                None,
+                0,
+                t(200 + i),
+                &ci,
+            );
+            let _ = deferred.set(
+                i,
+                format!("f{i}").as_bytes(),
+                &fill,
+                None,
+                None,
+                0,
+                t(200 + i),
+                &cd,
+            );
         }
         for i in 0..8u64 {
             assert_eq!(

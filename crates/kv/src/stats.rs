@@ -8,6 +8,41 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Fold another report of the same shape into this one.
+///
+/// Both [`CacheStats`] and [`SlabReport`] aggregate per-shard parts
+/// into a cache-wide whole; this trait gives the two `merge`s one name
+/// so aggregation loops (`report()`, the probe binary, repro
+/// experiments) can be written once — see [`merge_all`].
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Folds an iterator of parts into one report: the first part seeds
+/// the accumulator, the rest [`Merge::merge`] into it. `None` when the
+/// iterator is empty.
+pub fn merge_all<T: Merge, I: IntoIterator<Item = T>>(parts: I) -> Option<T> {
+    let mut it = parts.into_iter();
+    let mut total = it.next()?;
+    for part in it {
+        total.merge(&part);
+    }
+    Some(total)
+}
+
+/// Everything [`crate::PamaCache::report`] knows, in one snapshot:
+/// the lock-free counter block plus (in arena mode) the detailed slab
+/// ledger. Replaces the old `stats()` / `slab_stats()` split — one
+/// call, one consistent reporting cadence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheReport {
+    /// Aggregated operation counters and gauges.
+    pub cache: CacheStats,
+    /// Slab-arena accounting; `None` in heap-storage mode.
+    pub slabs: Option<SlabReport>,
+}
+
 /// Counters reported by [`crate::PamaCache::stats`]. All counters are
 /// cumulative since cache creation except `items` / `live_bytes`
 /// (point-in-time).
@@ -84,8 +119,16 @@ impl CacheStats {
         }
     }
 
+    /// Internal fragmentation in the arenas: slot-rounding waste on
+    /// live items (0 in heap mode).
+    pub fn internal_frag_bytes(&self) -> u64 {
+        self.arena_slot_bytes.saturating_sub(self.live_bytes)
+    }
+}
+
+impl Merge for CacheStats {
     /// Folds another shard's counters into this one.
-    pub fn merge(&mut self, other: &CacheStats) {
+    fn merge(&mut self, other: &CacheStats) {
         // Weighted mean for the penalty estimate.
         let total = self.measured_penalties + other.measured_penalties;
         if total > 0 {
@@ -117,18 +160,12 @@ impl CacheStats {
         self.slab_transfers += other.slab_transfers;
         self.slot_moves += other.slot_moves;
     }
-
-    /// Internal fragmentation in the arenas: slot-rounding waste on
-    /// live items (0 in heap mode).
-    pub fn internal_frag_bytes(&self) -> u64 {
-        self.arena_slot_bytes.saturating_sub(self.live_bytes)
-    }
 }
 
-/// Detailed slab-arena accounting, aggregated across shards by
-/// [`crate::PamaCache::slab_stats`]. Unlike [`CacheStats`] this takes
-/// each shard's read lock and walks slab metadata, so poll it at
-/// reporting cadence (the `probe` binary prints it per window).
+/// Detailed slab-arena accounting, aggregated across shards into
+/// [`CacheReport::slabs`]. Unlike [`CacheStats`] this takes each
+/// shard's read lock and walks slab metadata, so poll it at reporting
+/// cadence (the `probe` binary prints it per window).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SlabReport {
     /// Size of one slab in bytes.
@@ -191,9 +228,11 @@ impl SlabReport {
         }
         self.resident_bytes.saturating_sub(self.requested_bytes) as f64 / self.live_items as f64
     }
+}
 
+impl Merge for SlabReport {
     /// Folds another shard's report into this one.
-    pub fn merge(&mut self, other: &SlabReport) {
+    fn merge(&mut self, other: &SlabReport) {
         self.slab_bytes = self.slab_bytes.max(other.slab_bytes);
         self.max_slabs += other.max_slabs;
         self.slabs += other.slabs;
@@ -365,6 +404,17 @@ mod tests {
         };
         a.merge(&CacheStats::default());
         assert_eq!(a.measured_penalties, 0);
+    }
+
+    #[test]
+    fn merge_all_folds_every_part() {
+        let parts = (0..4u64).map(|i| CacheStats { hits: i, ..CacheStats::default() });
+        let total = merge_all(parts).unwrap();
+        assert_eq!(total.hits, 6, "0+1+2+3 across the four parts");
+        assert!(merge_all(std::iter::empty::<CacheStats>()).is_none());
+
+        let reports = (0..3).map(|_| SlabReport { slabs: 2, ..SlabReport::default() });
+        assert_eq!(merge_all(reports).unwrap().slabs, 6);
     }
 
     #[test]

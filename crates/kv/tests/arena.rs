@@ -3,7 +3,7 @@
 //! whole design — policy migrations moving *real* memory.
 
 use pama_core::policy::PamaConfig;
-use pama_kv::CacheBuilder;
+use pama_kv::{CacheBuilder, SetOptions};
 use pama_util::SimDuration;
 
 fn key(i: u64) -> Vec<u8> {
@@ -14,10 +14,10 @@ fn key(i: u64) -> Vec<u8> {
 fn slab_stats_account_for_resident_memory() {
     let cache = CacheBuilder::new().total_bytes(1 << 20).slab_bytes(64 << 10).shards(2).build();
     for i in 0..4_000u64 {
-        cache.set(&key(i), &vec![0xCD; 100], None);
+        let _ = cache.set(&key(i), &vec![0xCD; 100], &SetOptions::default());
     }
-    let stats = cache.stats();
-    let slabs = cache.slab_stats().expect("arena mode reports slab stats");
+    let stats = cache.report().cache;
+    let slabs = cache.report().slabs.expect("arena mode reports slab stats");
     assert!(stats.items > 0);
     assert_eq!(slabs.live_items, stats.items);
     assert_eq!(slabs.requested_bytes, stats.live_bytes);
@@ -45,10 +45,10 @@ fn heap_baseline_has_no_arena_and_same_semantics() {
         .heap_storage(true)
         .build();
     for i in 0..200u64 {
-        cache.set(&key(i), &vec![0xEE; 64], None);
+        cache.set(&key(i), &vec![0xEE; 64], &SetOptions::default()).unwrap();
     }
-    assert!(cache.slab_stats().is_none(), "heap mode must not report slab stats");
-    let stats = cache.stats();
+    assert!(cache.report().slabs.is_none(), "heap mode must not report slab stats");
+    let stats = cache.report().cache;
     assert_eq!(stats.slabs_in_use, 0);
     assert_eq!(stats.arena_resident_bytes, 0);
     assert!(stats.items > 0);
@@ -78,11 +78,11 @@ fn policy_migration_moves_physical_slabs() {
     // items so the large class cannot simply be granted a free slab —
     // the only way it can grow is by taking one from the small class.
     for i in 0..9_000u64 {
-        cache.set(&key(i), &vec![1u8; 50], None);
+        let _ = cache.set(&key(i), &vec![1u8; 50], &SetOptions::default());
     }
-    let before = cache.stats();
+    let before = cache.report().cache;
     assert!(before.slabs_in_use > 0);
-    let slabs_before = cache.slab_stats().unwrap();
+    let slabs_before = cache.report().slabs.unwrap();
     assert_eq!(slabs_before.slabs, slabs_before.max_slabs, "budget must be saturated");
     // Phase 2: a working set of large, high-penalty items. Failed
     // inserts ghost the keys; the next round's misses on those ghosts
@@ -96,7 +96,8 @@ fn policy_migration_moves_physical_slabs() {
         for k in 0..16u64 {
             let kb = key(1_000_000 + k);
             if cache.get(&kb).is_none() {
-                cache.set_with_penalty(&kb, &big, SimDuration::from_secs(2), None);
+                let _ =
+                    cache.set(&kb, &big, &SetOptions::new().penalty(SimDuration::from_secs(2)));
             }
         }
         // Keep some small-item traffic flowing so windows advance.
@@ -104,14 +105,14 @@ fn policy_migration_moves_physical_slabs() {
             let _ = cache.get(&key(round * 8 + k));
         }
     }
-    let after = cache.stats();
+    let after = cache.report().cache;
     assert!(
         after.slab_transfers > 0,
         "no physical slab transfer happened (policy migrations should have fired): {after:?}"
     );
     // After all that churn the ledgers still agree exactly.
     cache.check_invariants().unwrap();
-    let slabs = cache.slab_stats().unwrap();
+    let slabs = cache.report().slabs.unwrap();
     assert_eq!(slabs.transfers, after.slab_transfers);
     assert_eq!(slabs.live_items, after.items);
 }

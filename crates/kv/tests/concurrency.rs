@@ -2,7 +2,7 @@
 //! APIs must be observationally equivalent to the single-key ones, and
 //! concurrent use must converge to the sequential outcome.
 
-use pama_kv::{CacheBuilder, PamaCache};
+use pama_kv::{CacheBuilder, PamaCache, SetOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Geometry with no eviction pressure for the key counts used here, so
@@ -20,12 +20,12 @@ fn batched_ops_match_sequential_ops() {
 
     // Writes: one at a time vs shard-grouped batches of 64.
     for (k, v) in keys.iter().zip(&vals) {
-        seq.set(k, v, None);
+        seq.set(k, v, &SetOptions::default()).unwrap();
     }
     for (kc, vc) in keys.chunks(64).zip(vals.chunks(64)) {
         let items: Vec<(&[u8], &[u8])> =
             kc.iter().zip(vc).map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
-        bat.multi_set(&items, None);
+        bat.multi_set(&items, &SetOptions::default()).unwrap();
     }
 
     // Reads: 512 present keys + 64 absent ones, singly vs in batches.
@@ -38,7 +38,7 @@ fn batched_ops_match_sequential_ops() {
     }
     assert_eq!(single, batched, "multi_get diverged from get");
 
-    let (ss, bs) = (seq.stats(), bat.stats());
+    let (ss, bs) = (seq.report().cache, bat.report().cache);
     assert_eq!(ss.sets, bs.sets);
     assert_eq!(ss.items, bs.items);
     assert_eq!(ss.hits, bs.hits);
@@ -52,7 +52,7 @@ fn batched_ops_match_sequential_ops() {
     // Both caches store through the slab arena; their physical ledgers
     // must agree with the logical stats and with each other.
     for (label, cache, stats) in [("seq", &seq, &ss), ("bat", &bat, &bs)] {
-        let slabs = cache.slab_stats().expect("arena-backed cache reports slab stats");
+        let slabs = cache.report().slabs.expect("arena-backed cache reports slab stats");
         assert_eq!(slabs.live_items, stats.items, "{label}: arena item count drifted");
         assert_eq!(
             slabs.requested_bytes, stats.live_bytes,
@@ -77,7 +77,7 @@ fn concurrent_writers_and_readers_converge_to_sequential_state() {
                 for i in 0..PER_WRITER {
                     let key = format!("w{t}-{i}");
                     let val = format!("v{t}-{i}");
-                    cache.set(key.as_bytes(), val.as_bytes(), None);
+                    cache.set(key.as_bytes(), val.as_bytes(), &SetOptions::default()).unwrap();
                 }
             });
         }
@@ -107,21 +107,27 @@ fn concurrent_writers_and_readers_converge_to_sequential_state() {
         }
         // Writer handles finish when the scope's non-reader spawns do;
         // signal readers once all writes are visible.
-        while cache.stats().sets < (WRITERS * PER_WRITER) as u64 {
+        while cache.report().cache.sets < (WRITERS * PER_WRITER) as u64 {
             std::thread::yield_now();
         }
         done.store(true, Ordering::Relaxed);
     });
 
     cache.flush();
-    let s = cache.stats();
+    let s = cache.report().cache;
     assert_eq!(s.sets, (WRITERS * PER_WRITER) as u64);
     assert_eq!(s.items, (WRITERS * PER_WRITER) as u64, "a write was lost");
     // The sequential oracle: the same writes applied on one thread.
     let oracle = roomy(4);
     for t in 0..WRITERS {
         for i in 0..PER_WRITER {
-            oracle.set(format!("w{t}-{i}").as_bytes(), format!("v{t}-{i}").as_bytes(), None);
+            oracle
+                .set(
+                    format!("w{t}-{i}").as_bytes(),
+                    format!("v{t}-{i}").as_bytes(),
+                    &SetOptions::default(),
+                )
+                .unwrap();
         }
     }
     for t in 0..WRITERS {
@@ -140,7 +146,7 @@ fn concurrent_writers_and_readers_converge_to_sequential_state() {
     oracle.check_invariants().unwrap();
     // After identical write sets, the concurrent cache's arena must
     // account for exactly the same payload as the sequential oracle's.
-    let (cs, os) = (cache.slab_stats().unwrap(), oracle.slab_stats().unwrap());
+    let (cs, os) = (cache.report().slabs.unwrap(), oracle.report().slabs.unwrap());
     assert_eq!(cs.live_items, os.live_items);
     assert_eq!(cs.requested_bytes, os.requested_bytes);
     assert_eq!(cs.live_items, s.items);

@@ -2,7 +2,7 @@
 //! against a reference map under arbitrary op sequences.
 
 use pama_core::policy::PamaConfig;
-use pama_kv::CacheBuilder;
+use pama_kv::{CacheBuilder, SetOptions};
 use pama_util::SimDuration;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -98,7 +98,7 @@ proptest! {
             match op {
                 KvOp::Set { key, len } => {
                     let value = vec![key; usize::from(len)];
-                    cache.set(&key_bytes(key), &value, None);
+                    let _ = cache.set(&key_bytes(key), &value, &SetOptions::default());
                     model.insert(key, value);
                 }
                 KvOp::Get { key } => {
@@ -141,7 +141,7 @@ proptest! {
         for op in &ops {
             match op {
                 KvOp::Set { key, len } => {
-                    cache.set(&key_bytes(*key), &vec![0u8; usize::from(*len)], None);
+                    let _ = cache.set(&key_bytes(*key), &vec![0u8; usize::from(*len)], &SetOptions::default());
                     sets += 1;
                 }
                 KvOp::Get { key } => {
@@ -153,7 +153,7 @@ proptest! {
                 }
             }
         }
-        let s = cache.stats();
+        let s = cache.report().cache;
         prop_assert_eq!(s.sets, sets);
         prop_assert_eq!(s.hits + s.misses, gets);
         // live accounting: recount by probing all possible keys
@@ -186,7 +186,7 @@ proptest! {
             match op {
                 DeferredOp::Set { key, len } => {
                     let value = vec![key; usize::from(len)];
-                    cache.set(&key_bytes(key), &value, None);
+                    let _ = cache.set(&key_bytes(key), &value, &SetOptions::default());
                     model.insert(key, value);
                 }
                 DeferredOp::Get { key } => {
@@ -212,7 +212,7 @@ proptest! {
                     let owned: Vec<Vec<u8>> = keys.iter().map(|&k| key_bytes(k)).collect();
                     let items: Vec<(&[u8], &[u8])> =
                         owned.iter().map(|k| (k.as_slice(), &value[..])).collect();
-                    cache.multi_set(&items, None);
+                    let _ = cache.multi_set(&items, &SetOptions::default());
                     for &k in &keys {
                         model.insert(k, value.clone());
                     }
@@ -235,7 +235,7 @@ proptest! {
                 items += 1;
             }
         }
-        prop_assert_eq!(cache.stats().items, items);
+        prop_assert_eq!(cache.report().cache.items, items);
     }
 
     /// Arena lockstep: under random set/get/delete sequences — with
@@ -246,7 +246,7 @@ proptest! {
     /// per-op oracle (every index entry points at a live slot of the
     /// right class, free + live slots cover every slab, per-class slab
     /// counts match the policy); the end-state check recounts items
-    /// and bytes through `slab_stats`.
+    /// and bytes through `report().slabs`.
     #[test]
     fn arena_accounting_stays_in_lockstep_with_oracle(
         ops in prop::collection::vec(arena_op(), 1..250)
@@ -269,7 +269,7 @@ proptest! {
             match op {
                 ArenaOp::Set { key, value_len } => {
                     let value = vec![key ^ 0x5A; value_len];
-                    cache.set(&key_bytes(key), &value, None);
+                    let _ = cache.set(&key_bytes(key), &value, &SetOptions::default());
                     model.insert(key, value);
                 }
                 ArenaOp::Get { key } => {
@@ -295,8 +295,9 @@ proptest! {
         }
         // End state: the arena's own aggregates agree with the
         // lock-free stats gauges and with a full recount.
-        let stats = cache.stats();
-        let slabs = cache.slab_stats().expect("arena mode must report slab stats");
+        let r = cache.report();
+        let stats = r.cache;
+        let slabs = r.slabs.expect("arena mode must report slab stats");
         prop_assert_eq!(slabs.live_items, stats.items);
         prop_assert_eq!(slabs.requested_bytes, stats.live_bytes);
         prop_assert_eq!(slabs.slabs, stats.slabs_in_use);
@@ -319,7 +320,7 @@ proptest! {
             .shards(1)
             .build();
         for &k in &keys {
-            cache.set(&key_bytes(k), b"v", Some(SimDuration::ZERO));
+            let _ = cache.set(&key_bytes(k), b"v", &SetOptions::new().ttl(SimDuration::ZERO));
             prop_assert!(cache.get(&key_bytes(k)).is_none(), "TTL=0 entry visible");
         }
     }

@@ -1,0 +1,87 @@
+//! `pamad` — the PAMA cache daemon.
+//!
+//! A Memcached ASCII-protocol server in front of `pama-kv`:
+//!
+//! ```text
+//! pamad --listen 127.0.0.1:11211 --memory-mb 64
+//! ```
+//!
+//! Prints `pamad listening on <addr>` once bound (with the real port
+//! when `--listen` used port 0), serves until stdin closes or reads
+//! `quit`, then drains in-flight requests and exits.
+
+use pama_server::daemon::{run, DaemonOptions};
+
+const USAGE: &str = "pamad — penalty-aware Memcached-protocol cache daemon
+
+USAGE:
+    pamad [OPTIONS]
+
+OPTIONS:
+    --listen ADDR       listen address (default 127.0.0.1:11211; port 0 = ephemeral)
+    --memory-mb N       cache capacity in MiB (default 64)
+    --slab-kb N         slab size in KiB (default 256)
+    --shards N          shard count (default: auto)
+    --max-conns N       connection ceiling (default 64)
+    --timeout-ms N      per-connection read/write timeout (default 5000)
+    --backend           attach the simulated backend (misses charge penalty fetches)
+    --faults SPEC       backend fault schedule, implies --backend; SPEC is
+                        comma-separated: outage:FROM-UNTIL, storm:FROM-UNTILxFACTOR,
+                        shift:AT+ROTATE (request serials)
+    -h, --help          this text
+
+Shutdown: close stdin (or type `quit`) — the server stops accepting,
+answers everything already buffered, and exits.";
+
+fn parse_args() -> Result<DaemonOptions, String> {
+    let mut opts = DaemonOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--memory-mb" => {
+                opts.memory_mb =
+                    value("--memory-mb")?.parse().map_err(|e| format!("--memory-mb: {e}"))?;
+            }
+            "--slab-kb" => {
+                opts.slab_kb =
+                    value("--slab-kb")?.parse().map_err(|e| format!("--slab-kb: {e}"))?;
+            }
+            "--shards" => {
+                opts.shards =
+                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--max-conns" => {
+                opts.max_conns =
+                    value("--max-conns")?.parse().map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms =
+                    value("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+            }
+            "--backend" => opts.backend = true,
+            "--faults" => opts.faults = Some(value("--faults")?),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("pamad: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&opts) {
+        eprintln!("pamad: {e}");
+        std::process::exit(1);
+    }
+}

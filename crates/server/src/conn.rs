@@ -1,0 +1,264 @@
+//! Per-connection request loop: incremental parse, batched dispatch,
+//! one write per burst.
+//!
+//! Pipelining is handled structurally: every complete command sitting
+//! in the read buffer is parsed before anything is written, runs of
+//! consecutive `get`/`gets` commands collapse into a single
+//! shard-grouped `multi_lookup`, and the whole burst of responses
+//! leaves in one `write_all`. A client that sends 32 gets back to
+//! back therefore costs one cache dispatch and one syscall each way,
+//! not 32.
+
+use crate::proto::{Command, Parser, Step, Store};
+use crate::Shared;
+use pama_kv::{CacheError, SetOptions};
+use pama_util::SimDuration;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Read wake-up quantum: how often an idle connection re-checks the
+/// shutdown flag and its idle deadline.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Decrements the live-connection gauge however the thread exits.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.curr_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+pub(crate) fn serve(mut stream: TcpStream, shared: &Shared) {
+    let _guard = ConnGuard(shared);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL.min(shared.cfg.read_timeout)));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+
+    let mut parser = Parser::new(shared.cfg.max_value_bytes);
+    let mut buf: Vec<u8> = Vec::with_capacity(4 << 10);
+    let mut out: Vec<u8> = Vec::with_capacity(4 << 10);
+    let mut tmp = [0u8; 16 << 10];
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Phase 1: consume every complete command in the buffer.
+        // Consecutive gets accumulate in `pending` and flush as one
+        // batched lookup when a non-get (or the buffer's end) breaks
+        // the run, preserving response order.
+        let mut pending: Vec<(Vec<Vec<u8>>, bool)> = Vec::new();
+        let mut close = false;
+        loop {
+            match parser.step(&buf) {
+                Step::Incomplete => break,
+                Step::Swallowed { n } => {
+                    buf.drain(..n);
+                    last_activity = Instant::now();
+                }
+                Step::Cmd { cmd, consumed } => {
+                    buf.drain(..consumed);
+                    shared.commands.fetch_add(1, Ordering::Relaxed);
+                    match cmd {
+                        Command::Get { keys, with_cas } => pending.push((keys, with_cas)),
+                        Command::Quit => {
+                            close = true;
+                            break;
+                        }
+                        other => {
+                            flush_gets(shared, &mut pending, &mut out);
+                            execute(shared, other, &mut out);
+                        }
+                    }
+                }
+                Step::Bad { reply, consumed, fatal } => {
+                    buf.drain(..consumed);
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    flush_gets(shared, &mut pending, &mut out);
+                    out.extend_from_slice(reply.as_bytes());
+                    if fatal {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        flush_gets(shared, &mut pending, &mut out);
+
+        // Phase 2: one write for the whole burst.
+        if !out.is_empty() {
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            out.clear();
+            last_activity = Instant::now();
+        }
+        if close || shared.shutdown.load(Ordering::Acquire) {
+            // Shutdown drain: everything complete was just answered;
+            // an unfinished tail cannot be waited for.
+            return;
+        }
+
+        // Phase 3: block (briefly) for more bytes.
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&tmp[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::Acquire)
+                    || last_activity.elapsed() >= shared.cfg.read_timeout
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Memcached `exptime` → TTL: `0` never expires, negative expires
+/// immediately, positive counts relative seconds.
+fn ttl_of(exptime: i64) -> Option<SimDuration> {
+    match exptime {
+        0 => None,
+        e if e < 0 => Some(SimDuration::ZERO),
+        e => Some(SimDuration::from_secs(e as u64)),
+    }
+}
+
+/// Maps a refused mutation onto the wire. These are *storage*
+/// conditions on well-formed requests, deliberately not counted as
+/// protocol errors.
+fn error_line(e: CacheError) -> &'static [u8] {
+    match e {
+        CacheError::ValueTooLarge { .. } => b"SERVER_ERROR object too large for cache\r\n",
+        CacheError::CapacityExhausted { .. } => {
+            b"SERVER_ERROR out of memory storing object\r\n"
+        }
+        CacheError::ShuttingDown => b"SERVER_ERROR server shutting down\r\n",
+    }
+}
+
+/// Answers a run of consecutive `get`/`gets` commands with one
+/// shard-grouped lookup.
+fn flush_gets(shared: &Shared, pending: &mut Vec<(Vec<Vec<u8>>, bool)>, out: &mut Vec<u8>) {
+    if pending.is_empty() {
+        return;
+    }
+    let refs: Vec<&[u8]> =
+        pending.iter().flat_map(|(keys, _)| keys.iter().map(|k| k.as_slice())).collect();
+    let mut found = shared.cache.multi_lookup(&refs).into_iter();
+    for (keys, with_cas) in pending.drain(..) {
+        for key in &keys {
+            let Some(v) = found.next().flatten() else { continue };
+            out.extend_from_slice(b"VALUE ");
+            out.extend_from_slice(key);
+            if with_cas {
+                out.extend_from_slice(
+                    format!(" {} {} {}\r\n", v.flags, v.value.len(), v.cas).as_bytes(),
+                );
+            } else {
+                out.extend_from_slice(format!(" {} {}\r\n", v.flags, v.value.len()).as_bytes());
+            }
+            out.extend_from_slice(&v.value);
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"END\r\n");
+    }
+}
+
+fn store_reply(out: &mut Vec<u8>, noreply: bool, res: Result<bool, CacheError>) {
+    if noreply {
+        return;
+    }
+    out.extend_from_slice(match res {
+        Ok(true) => b"STORED\r\n",
+        Ok(false) => b"NOT_STORED\r\n",
+        Err(e) => error_line(e),
+    });
+}
+
+fn execute(shared: &Shared, cmd: Command, out: &mut Vec<u8>) {
+    match cmd {
+        // Runs of gets never reach here (batched in the caller).
+        Command::Get { .. } | Command::Quit => unreachable!("handled by the connection loop"),
+        Command::Set(Store { key, flags, exptime, data, noreply }) => {
+            let opts = opts_for(flags, exptime);
+            store_reply(out, noreply, shared.cache.set(&key, &data, &opts).map(|()| true));
+        }
+        Command::Add(Store { key, flags, exptime, data, noreply }) => {
+            let opts = opts_for(flags, exptime);
+            store_reply(out, noreply, shared.cache.add(&key, &data, &opts));
+        }
+        Command::Delete { key, noreply } => {
+            let hit = shared.cache.delete(&key);
+            if !noreply {
+                out.extend_from_slice(if hit { b"DELETED\r\n" } else { b"NOT_FOUND\r\n" });
+            }
+        }
+        Command::Touch { key, exptime, noreply } => {
+            let hit = shared.cache.touch(&key, ttl_of(exptime));
+            if !noreply {
+                out.extend_from_slice(if hit { b"TOUCHED\r\n" } else { b"NOT_FOUND\r\n" });
+            }
+        }
+        Command::FlushAll { noreply } => {
+            shared.cache.clear();
+            if !noreply {
+                out.extend_from_slice(b"OK\r\n");
+            }
+        }
+        Command::Version => {
+            out.extend_from_slice(
+                format!("VERSION pama-{}\r\n", env!("CARGO_PKG_VERSION")).as_bytes(),
+            );
+        }
+        Command::Stats => emit_stats(shared, out),
+    }
+}
+
+fn opts_for(flags: u32, exptime: i64) -> SetOptions {
+    let mut opts = SetOptions::new().flags(flags);
+    opts.ttl = ttl_of(exptime);
+    opts
+}
+
+fn emit_stats(shared: &Shared, out: &mut Vec<u8>) {
+    let mut stat = |name: &str, value: String| {
+        out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+    };
+    stat("curr_connections", shared.curr_conns.load(Ordering::Relaxed).to_string());
+    stat("total_connections", shared.accepted.load(Ordering::Relaxed).to_string());
+    stat("shed_connections", shared.shed.load(Ordering::Relaxed).to_string());
+    stat("protocol_errors", shared.protocol_errors.load(Ordering::Relaxed).to_string());
+    stat("cmd_total", shared.commands.load(Ordering::Relaxed).to_string());
+
+    let report = shared.cache.report();
+    let c = &report.cache;
+    stat("cmd_get", (c.hits + c.misses).to_string());
+    stat("get_hits", c.hits.to_string());
+    stat("get_misses", c.misses.to_string());
+    stat("cmd_set", c.sets.to_string());
+    stat("curr_items", c.items.to_string());
+    stat("bytes", c.live_bytes.to_string());
+    stat("evictions", c.evictions.to_string());
+    stat("expired", c.expired.to_string());
+    stat("rejected", c.rejected.to_string());
+    // Penalty-aware extensions: what makes this PAMA and not LRU.
+    stat("measured_penalties", c.measured_penalties.to_string());
+    stat("mean_measured_penalty_us", format!("{:.1}", c.mean_measured_penalty_us));
+    stat("backend_fetches", c.backend_fetches.to_string());
+    stat("backend_retries", c.backend_retries.to_string());
+    stat("backend_failures", c.backend_failures.to_string());
+    stat("backend_time_us", c.backend_time_us.to_string());
+    if let Some(s) = &report.slabs {
+        stat("slabs_in_use", s.slabs.to_string());
+        stat("slab_free_slots", s.free_slots.to_string());
+        stat("internal_frag_bytes", s.internal_frag_bytes().to_string());
+    }
+    out.extend_from_slice(b"END\r\n");
+}

@@ -1,0 +1,440 @@
+//! Incremental Memcached ASCII-protocol codec.
+//!
+//! [`Parser::step`] consumes bytes from the front of a connection
+//! buffer and yields one [`Step`] at a time. It is torn-frame safe:
+//! a command line or data block split across arbitrary `read()`
+//! boundaries parses identically to one that arrives whole, because
+//! the parser never commits to a command until every byte of it is in
+//! the buffer — except for *refused* data blocks (a declared size the
+//! server will not store), which are discarded incrementally so a
+//! hostile or confused client cannot force unbounded buffering.
+//!
+//! Commands: `get`/`gets` (multi-key), `set`/`add` (with data block),
+//! `delete`, `touch`, `stats`, `flush_all`, `version`, `quit`.
+//! `exptime` is interpreted as *relative seconds*: `0` means never
+//! expires, negative means already expired (Memcached's "expire
+//! immediately" idiom). `noreply` suppresses the response line on
+//! mutations.
+
+/// Memcached's key-length ceiling, bytes.
+pub const MAX_KEY_BYTES: usize = 250;
+
+/// Longest accepted command line (not counting data blocks). A line
+/// that grows past this without a terminator is a protocol error.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// A storage command's payload (`set` / `add`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Store {
+    /// The item key.
+    pub key: Vec<u8>,
+    /// Opaque 32-bit flags stored with the item.
+    pub flags: u32,
+    /// Relative TTL in seconds; `0` = never, negative = immediately
+    /// expired.
+    pub exptime: i64,
+    /// The data block (terminator stripped).
+    pub data: Vec<u8>,
+    /// Suppress the response line.
+    pub noreply: bool,
+}
+
+/// One parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get`/`gets` over one or more keys; `gets` also wants CAS.
+    Get {
+        /// Keys, in request order.
+        keys: Vec<Vec<u8>>,
+        /// True for `gets` (emit the CAS stamp on each VALUE line).
+        with_cas: bool,
+    },
+    /// Unconditional store.
+    Set(Store),
+    /// Store only if absent.
+    Add(Store),
+    /// Remove a key.
+    Delete {
+        /// The key to remove.
+        key: Vec<u8>,
+        /// Suppress the response line.
+        noreply: bool,
+    },
+    /// Reset a key's TTL without touching its value.
+    Touch {
+        /// The key to refresh.
+        key: Vec<u8>,
+        /// New relative TTL in seconds.
+        exptime: i64,
+        /// Suppress the response line.
+        noreply: bool,
+    },
+    /// Server + cache counters.
+    Stats,
+    /// Drop every item.
+    FlushAll {
+        /// Suppress the response line.
+        noreply: bool,
+    },
+    /// Server version string.
+    Version,
+    /// Close the connection.
+    Quit,
+}
+
+/// One parser advance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Not enough bytes for the next command; read more.
+    Incomplete,
+    /// `n` bytes of a refused data block were discarded; nothing to
+    /// execute yet, keep feeding.
+    Swallowed {
+        /// Bytes to drop from the front of the buffer.
+        n: usize,
+    },
+    /// A complete command.
+    Cmd {
+        /// The command.
+        cmd: Command,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+    /// A protocol error. Send `reply`, drop `consumed` bytes, and —
+    /// when `fatal` — close the connection (the stream can no longer
+    /// be framed).
+    Bad {
+        /// Full response line(s), terminator included.
+        reply: String,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+        /// Whether the connection must close after the reply.
+        fatal: bool,
+    },
+}
+
+/// Stateful incremental parser (one per connection).
+#[derive(Debug)]
+pub struct Parser {
+    max_value_bytes: usize,
+    /// Remaining bytes of a refused data block (terminator included)
+    /// still to discard before `deferred` is emitted.
+    swallow: usize,
+    deferred: Option<String>,
+}
+
+fn bad(reply: &str, consumed: usize, fatal: bool) -> Step {
+    Step::Bad { reply: format!("{reply}\r\n"), consumed, fatal }
+}
+
+fn key_ok(key: &[u8]) -> bool {
+    !key.is_empty() && key.len() <= MAX_KEY_BYTES && key.iter().all(|&b| b > 32 && b != 127)
+}
+
+fn parse_u32(tok: &[u8]) -> Option<u32> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+fn parse_i64(tok: &[u8]) -> Option<i64> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+fn parse_usize(tok: &[u8]) -> Option<usize> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+impl Parser {
+    /// A parser that refuses data blocks larger than
+    /// `max_value_bytes`.
+    pub fn new(max_value_bytes: usize) -> Self {
+        Parser { max_value_bytes, swallow: 0, deferred: None }
+    }
+
+    /// Advances over the front of `buf`. The caller drops the
+    /// `consumed` / `n` bytes the step reports and loops until
+    /// [`Step::Incomplete`].
+    pub fn step(&mut self, buf: &[u8]) -> Step {
+        if self.swallow > 0 {
+            let n = self.swallow.min(buf.len());
+            self.swallow -= n;
+            if self.swallow == 0 {
+                let reply = self.deferred.take().unwrap_or_else(|| "ERROR\r\n".into());
+                return Step::Bad { reply, consumed: n, fatal: false };
+            }
+            return if n == 0 { Step::Incomplete } else { Step::Swallowed { n } };
+        }
+
+        let Some(eol) = buf.windows(2).position(|w| w == b"\r\n") else {
+            return if buf.len() > MAX_LINE_BYTES {
+                bad("CLIENT_ERROR command line too long", buf.len(), true)
+            } else {
+                Step::Incomplete
+            };
+        };
+        if eol > MAX_LINE_BYTES {
+            return bad("CLIENT_ERROR command line too long", eol + 2, true);
+        }
+        let line = &buf[..eol];
+        let consumed = eol + 2;
+        let toks: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
+        let Some(&verb) = toks.first() else {
+            return bad("ERROR", consumed, false);
+        };
+
+        match verb {
+            b"get" | b"gets" => {
+                if toks.len() < 2 {
+                    return bad("ERROR", consumed, false);
+                }
+                if toks[1..].iter().any(|k| !key_ok(k)) {
+                    return bad("CLIENT_ERROR bad key", consumed, false);
+                }
+                let keys = toks[1..].iter().map(|k| k.to_vec()).collect();
+                Step::Cmd { cmd: Command::Get { keys, with_cas: verb == b"gets" }, consumed }
+            }
+            b"set" | b"add" => self.parse_store(verb, &toks, consumed, buf),
+            b"delete" => {
+                let noreply = toks.last() == Some(&&b"noreply"[..]);
+                let args = toks.len() - usize::from(noreply);
+                if args != 2 || !key_ok(toks[1]) {
+                    return bad("CLIENT_ERROR bad command line format", consumed, false);
+                }
+                Step::Cmd { cmd: Command::Delete { key: toks[1].to_vec(), noreply }, consumed }
+            }
+            b"touch" => {
+                let noreply = toks.last() == Some(&&b"noreply"[..]);
+                let args = toks.len() - usize::from(noreply);
+                let exptime = if args == 3 { parse_i64(toks[2]) } else { None };
+                match exptime {
+                    Some(exptime) if key_ok(toks[1]) => Step::Cmd {
+                        cmd: Command::Touch { key: toks[1].to_vec(), exptime, noreply },
+                        consumed,
+                    },
+                    _ => bad("CLIENT_ERROR bad command line format", consumed, false),
+                }
+            }
+            b"stats" if toks.len() == 1 => Step::Cmd { cmd: Command::Stats, consumed },
+            b"flush_all" => {
+                // Optional numeric delay accepted and ignored (we
+                // flush immediately), matching common client libs.
+                let noreply = toks.last() == Some(&&b"noreply"[..]);
+                let args = &toks[1..toks.len() - usize::from(noreply)];
+                match args {
+                    [] => Step::Cmd { cmd: Command::FlushAll { noreply }, consumed },
+                    [d] if parse_i64(d).is_some() => {
+                        Step::Cmd { cmd: Command::FlushAll { noreply }, consumed }
+                    }
+                    _ => bad("CLIENT_ERROR bad command line format", consumed, false),
+                }
+            }
+            b"version" if toks.len() == 1 => Step::Cmd { cmd: Command::Version, consumed },
+            b"quit" => Step::Cmd { cmd: Command::Quit, consumed },
+            _ => bad("ERROR", consumed, false),
+        }
+    }
+
+    fn parse_store(
+        &mut self,
+        verb: &[u8],
+        toks: &[&[u8]],
+        consumed: usize,
+        buf: &[u8],
+    ) -> Step {
+        // <verb> <key> <flags> <exptime> <bytes> [noreply]
+        let noreply = toks.last() == Some(&&b"noreply"[..]);
+        let args = toks.len() - usize::from(noreply);
+        if args != 5 {
+            // Cannot size the data block that may follow: unframeable.
+            return bad("CLIENT_ERROR bad command line format", consumed, true);
+        }
+        let (flags, exptime, bytes) =
+            match (parse_u32(toks[2]), parse_i64(toks[3]), parse_usize(toks[4])) {
+                (Some(f), Some(e), Some(b)) => (f, e, b),
+                _ => return bad("CLIENT_ERROR bad command line format", consumed, true),
+            };
+        // The data block's size is known even when the command is
+        // refused, so these errors swallow it and keep the stream
+        // framed instead of closing.
+        if !key_ok(toks[1]) {
+            return self.refuse_block("CLIENT_ERROR bad key", bytes, consumed, buf);
+        }
+        if bytes > self.max_value_bytes {
+            return self.refuse_block(
+                "SERVER_ERROR object too large for cache",
+                bytes,
+                consumed,
+                buf,
+            );
+        }
+        let need = consumed + bytes + 2;
+        if buf.len() < need {
+            return Step::Incomplete;
+        }
+        if &buf[consumed + bytes..need] != b"\r\n" {
+            return bad("CLIENT_ERROR bad data chunk", need, true);
+        }
+        let store = Store {
+            key: toks[1].to_vec(),
+            flags,
+            exptime,
+            data: buf[consumed..consumed + bytes].to_vec(),
+            noreply,
+        };
+        let cmd = if verb == b"set" { Command::Set(store) } else { Command::Add(store) };
+        Step::Cmd { cmd, consumed: need }
+    }
+
+    /// Discards a sized data block (terminator included) that the
+    /// server refuses to store, then emits `reply`.
+    fn refuse_block(&mut self, reply: &str, bytes: usize, consumed: usize, buf: &[u8]) -> Step {
+        let total = bytes + 2;
+        let have = (buf.len() - consumed).min(total);
+        if have == total {
+            return bad(reply, consumed + total, false);
+        }
+        self.swallow = total - have;
+        self.deferred = Some(format!("{reply}\r\n"));
+        Step::Swallowed { n: consumed + have }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(input: &[u8]) -> Step {
+        Parser::new(1 << 20).step(input)
+    }
+
+    #[test]
+    fn get_parses_keys_in_order() {
+        match one(b"get a bb ccc\r\n") {
+            Step::Cmd { cmd: Command::Get { keys, with_cas }, consumed } => {
+                assert_eq!(keys, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+                assert!(!with_cas);
+                assert_eq!(consumed, 14);
+            }
+            s => panic!("{s:?}"),
+        }
+        assert!(matches!(
+            one(b"gets k\r\n"),
+            Step::Cmd { cmd: Command::Get { with_cas: true, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn set_carries_its_data_block() {
+        match one(b"set k 7 0 5 noreply\r\nhello\r\nget x\r\n") {
+            Step::Cmd { cmd: Command::Set(s), consumed } => {
+                assert_eq!(s.key, b"k");
+                assert_eq!(s.flags, 7);
+                assert_eq!(s.exptime, 0);
+                assert_eq!(s.data, b"hello");
+                assert!(s.noreply);
+                assert_eq!(consumed, 28);
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frames_stay_incomplete_until_whole() {
+        let full = b"set k 0 0 3\r\nabc\r\n";
+        let mut p = Parser::new(1 << 20);
+        for cut in 1..full.len() {
+            assert_eq!(p.step(&full[..cut]), Step::Incomplete, "cut at {cut}");
+        }
+        assert!(
+            matches!(p.step(full), Step::Cmd { cmd: Command::Set(_), consumed } if consumed == full.len())
+        );
+    }
+
+    #[test]
+    fn oversized_block_is_swallowed_incrementally() {
+        let mut p = Parser::new(8);
+        // Declares 10 bytes against an 8-byte cap; block arrives torn.
+        match p.step(b"set k 0 0 10\r\n1234") {
+            Step::Swallowed { n } => assert_eq!(n, 18),
+            s => panic!("{s:?}"),
+        }
+        match p.step(b"567890\r\nversion\r\n") {
+            Step::Bad { reply, consumed, fatal } => {
+                assert!(reply.starts_with("SERVER_ERROR object too large"));
+                assert_eq!(consumed, 8);
+                assert!(!fatal);
+            }
+            s => panic!("{s:?}"),
+        }
+        // The stream is still framed: the next command parses.
+        assert!(matches!(p.step(b"version\r\n"), Step::Cmd { cmd: Command::Version, .. }));
+    }
+
+    #[test]
+    fn oversized_key_swallows_but_survives() {
+        let mut p = Parser::new(1 << 20);
+        let long = vec![b'k'; MAX_KEY_BYTES + 1];
+        let mut req = b"set ".to_vec();
+        req.extend_from_slice(&long);
+        req.extend_from_slice(b" 0 0 2\r\nhi\r\n");
+        match p.step(&req) {
+            Step::Bad { reply, consumed, fatal } => {
+                assert!(reply.starts_with("CLIENT_ERROR bad key"));
+                assert_eq!(consumed, req.len());
+                assert!(!fatal);
+            }
+            s => panic!("{s:?}"),
+        }
+        let mut get = b"get ".to_vec();
+        get.extend_from_slice(&long);
+        get.extend_from_slice(b"\r\n");
+        assert!(matches!(p.step(&get), Step::Bad { fatal: false, .. }));
+    }
+
+    #[test]
+    fn bad_store_header_is_fatal() {
+        // Unparseable byte count: the following data block cannot be
+        // framed, so the connection must close.
+        assert!(matches!(one(b"set k 0 0 banana\r\n"), Step::Bad { fatal: true, .. }));
+        assert!(matches!(one(b"set k 0 0\r\n"), Step::Bad { fatal: true, .. }));
+    }
+
+    #[test]
+    fn bad_data_terminator_is_fatal() {
+        assert!(matches!(one(b"set k 0 0 2\r\nhiXX"), Step::Bad { fatal: true, .. }));
+    }
+
+    #[test]
+    fn unknown_verbs_and_empty_lines_error_nonfatally() {
+        assert!(matches!(one(b"frobnicate\r\n"), Step::Bad { fatal: false, .. }));
+        assert!(matches!(one(b"\r\n"), Step::Bad { fatal: false, .. }));
+        assert!(matches!(one(b"get\r\n"), Step::Bad { fatal: false, .. }));
+    }
+
+    #[test]
+    fn runaway_line_without_terminator_is_fatal() {
+        let long = vec![b'a'; MAX_LINE_BYTES + 1];
+        assert!(matches!(one(&long), Step::Bad { fatal: true, .. }));
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        assert!(matches!(one(b"stats\r\n"), Step::Cmd { cmd: Command::Stats, .. }));
+        assert!(matches!(
+            one(b"flush_all\r\n"),
+            Step::Cmd { cmd: Command::FlushAll { noreply: false }, .. }
+        ));
+        assert!(matches!(
+            one(b"flush_all 0 noreply\r\n"),
+            Step::Cmd { cmd: Command::FlushAll { noreply: true }, .. }
+        ));
+        assert!(matches!(one(b"quit\r\n"), Step::Cmd { cmd: Command::Quit, .. }));
+        assert!(matches!(
+            one(b"touch k 60\r\n"),
+            Step::Cmd { cmd: Command::Touch { exptime: 60, noreply: false, .. }, .. }
+        ));
+        assert!(matches!(
+            one(b"delete k noreply\r\n"),
+            Step::Cmd { cmd: Command::Delete { noreply: true, .. }, .. }
+        ));
+    }
+}

@@ -1,0 +1,327 @@
+//! Wire-level protocol tests against a live loopback server:
+//! malformed input, torn frames, size limits, `noreply`, pipelining,
+//! and a property test racing the server against an in-process
+//! oracle.
+
+use pama_kv::{CacheBuilder, PamaCache};
+use pama_server::client::Client;
+use pama_server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cache() -> Arc<PamaCache> {
+    Arc::new(CacheBuilder::new().total_bytes(8 << 20).slab_bytes(64 << 10).shards(2).build())
+}
+
+fn server() -> Server {
+    Server::bind(cache(), "127.0.0.1:0", ServerConfig::default()).expect("bind loopback")
+}
+
+fn read_line(stream: &mut TcpStream, buf: &mut Vec<u8>) -> String {
+    loop {
+        if let Some(pos) = buf.windows(2).position(|w| w == b"\r\n") {
+            let line: Vec<u8> = buf.drain(..pos + 2).take(pos).collect();
+            return String::from_utf8(line).expect("ascii response");
+        }
+        let mut tmp = [0u8; 4096];
+        let n = stream.read(&mut tmp).expect("read from server");
+        assert_ne!(n, 0, "server closed mid-line; buffered: {buf:?}");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+}
+
+#[test]
+fn malformed_commands_error_without_killing_the_connection() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    for (req, expect) in [
+        ("frobnicate\r\n", "ERROR"),
+        ("get\r\n", "ERROR"),
+        ("\r\n", "ERROR"),
+        ("delete\r\n", "CLIENT_ERROR bad command line format"),
+        ("touch k notanumber\r\n", "CLIENT_ERROR bad command line format"),
+    ] {
+        c.send_raw(req.as_bytes()).unwrap();
+        assert_eq!(c.read_line().unwrap(), expect, "for {req:?}");
+    }
+    // The connection is still healthy after every non-fatal error.
+    assert!(c.version().unwrap().starts_with("pama-"));
+    assert_eq!(srv.stats().protocol_errors, 5);
+    srv.shutdown();
+}
+
+#[test]
+fn unframeable_store_header_closes_the_connection() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.send_raw(b"set k 0 0 banana\r\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "CLIENT_ERROR bad command line format");
+    // The server cannot frame what follows, so it must hang up.
+    assert!(c.read_line().is_err(), "connection stayed open after a fatal error");
+    srv.shutdown();
+}
+
+#[test]
+fn torn_frames_reassemble_across_arbitrary_write_boundaries() {
+    let srv = server();
+    let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = Vec::new();
+
+    // A set torn mid-line and mid-data-block.
+    for chunk in [&b"se"[..], b"t torn 7 0 5\r", b"\nhel", b"lo\r", b"\n"] {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(read_line(&mut stream, &mut buf), "STORED");
+
+    // A get torn mid-key.
+    for chunk in [&b"get to"[..], b"rn\r\n"] {
+        stream.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(read_line(&mut stream, &mut buf), "VALUE torn 7 5");
+    assert_eq!(read_line(&mut stream, &mut buf), "hello");
+    assert_eq!(read_line(&mut stream, &mut buf), "END");
+    assert_eq!(srv.stats().protocol_errors, 0);
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_keys_are_refused_and_the_stream_stays_framed() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let long_key = vec![b'k'; 251];
+
+    // get with an oversized key: error, connection lives.
+    let mut req = b"get ".to_vec();
+    req.extend_from_slice(&long_key);
+    req.extend_from_slice(b"\r\n");
+    c.send_raw(&req).unwrap();
+    assert_eq!(c.read_line().unwrap(), "CLIENT_ERROR bad key");
+
+    // set with an oversized key: the declared data block must be
+    // swallowed so the next command still parses.
+    let mut req = b"set ".to_vec();
+    req.extend_from_slice(&long_key);
+    req.extend_from_slice(b" 0 0 5\r\nhello\r\n");
+    c.send_raw(&req).unwrap();
+    assert_eq!(c.read_line().unwrap(), "CLIENT_ERROR bad key");
+    assert_eq!(c.set(b"fine", b"v", 0, 0).unwrap(), "STORED");
+
+    // A 250-byte key is legal.
+    let max_key = vec![b'm'; 250];
+    assert_eq!(c.set(&max_key, b"v", 0, 0).unwrap(), "STORED");
+    assert_eq!(c.get(&max_key).unwrap().unwrap().value, b"v");
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_values_get_server_error_and_are_swallowed() {
+    let cfg = ServerConfig { max_value_bytes: 1 << 10, ..ServerConfig::default() };
+    let srv = Server::bind(cache(), "127.0.0.1:0", cfg).expect("bind loopback");
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let big = vec![0xAB; 4 << 10];
+    assert_eq!(c.set(b"big", &big, 0, 0).unwrap(), "SERVER_ERROR object too large for cache");
+    assert!(c.get(b"big").unwrap().is_none());
+    // The refused block was discarded, not parsed as commands.
+    assert_eq!(c.set(b"small", b"v", 0, 0).unwrap(), "STORED");
+    srv.shutdown();
+}
+
+#[test]
+fn values_too_large_for_the_slab_geometry_get_server_error() {
+    // Accepted by the codec (under max_value_bytes) but impossible to
+    // place: larger than one slab. Exercises the CacheError mapping.
+    let small = Arc::new(CacheBuilder::new().total_bytes(1 << 20).slab_bytes(16 << 10).build());
+    let srv = Server::bind(small, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let big = vec![1u8; 32 << 10];
+    assert_eq!(c.set(b"big", &big, 0, 0).unwrap(), "SERVER_ERROR object too large for cache");
+    assert_eq!(srv.stats().protocol_errors, 0, "storage refusal is not a protocol error");
+    srv.shutdown();
+}
+
+#[test]
+fn noreply_suppresses_responses_but_still_executes() {
+    let srv = server();
+    let mut stream = TcpStream::connect(srv.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = Vec::new();
+    // Three noreply mutations then a get: the only response on the
+    // wire is the get's.
+    stream
+        .write_all(b"set a 0 0 1 noreply\r\nx\r\nset b 0 0 1 noreply\r\ny\r\ndelete b noreply\r\nget a b\r\n")
+        .unwrap();
+    assert_eq!(read_line(&mut stream, &mut buf), "VALUE a 0 1");
+    assert_eq!(read_line(&mut stream, &mut buf), "x");
+    assert_eq!(read_line(&mut stream, &mut buf), "END");
+    srv.shutdown();
+}
+
+#[test]
+fn pipelined_bursts_answer_in_order() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
+        .map(|i| (format!("key{i:02}").into_bytes(), format!("value-{i}").into_bytes()))
+        .collect();
+    let refs: Vec<(&[u8], &[u8])> =
+        items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    assert_eq!(c.pipeline_sets(&refs, 0, 0).unwrap(), 64);
+
+    let keys: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+    let got = c.pipeline_gets(&keys).unwrap();
+    for ((_, v), g) in items.iter().zip(&got) {
+        assert_eq!(g.as_ref().map(|g| &g.value), Some(v));
+    }
+    // Mixed burst: get / set / bad command / get, one write.
+    c.send_raw(b"get key00\r\nset key00 9 0 3\r\nnew\r\nwat\r\nget key00\r\n").unwrap();
+    assert_eq!(c.read_line().unwrap(), "VALUE key00 0 7");
+    assert_eq!(c.read_line().unwrap(), "value-0");
+    assert_eq!(c.read_line().unwrap(), "END");
+    assert_eq!(c.read_line().unwrap(), "STORED");
+    assert_eq!(c.read_line().unwrap(), "ERROR");
+    assert_eq!(c.read_line().unwrap(), "VALUE key00 9 3");
+    assert_eq!(c.read_line().unwrap(), "new");
+    assert_eq!(c.read_line().unwrap(), "END");
+    srv.shutdown();
+}
+
+#[test]
+fn gets_exposes_cas_that_moves_on_overwrite() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.set(b"k", b"v1", 0, 0).unwrap();
+    let first = c.gets(b"k").unwrap().unwrap();
+    let again = c.gets(b"k").unwrap().unwrap();
+    assert_eq!(first.cas, again.cas, "cas moved without a write");
+    c.set(b"k", b"v2", 0, 0).unwrap();
+    let after = c.gets(b"k").unwrap().unwrap();
+    assert_ne!(first.cas, after.cas, "overwrite must move the cas");
+    assert!(c.get(b"k").unwrap().unwrap().cas.is_none(), "plain get must not carry cas");
+    srv.shutdown();
+}
+
+#[test]
+fn add_touch_delete_flush_semantics_over_the_wire() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    assert_eq!(c.add(b"k", b"v", 0, 0).unwrap(), "STORED");
+    assert_eq!(c.add(b"k", b"other", 0, 0).unwrap(), "NOT_STORED");
+    assert_eq!(c.get(b"k").unwrap().unwrap().value, b"v");
+
+    assert!(c.touch(b"k", 3600).unwrap());
+    assert!(!c.touch(b"ghost", 3600).unwrap());
+    // Negative exptime: expire immediately.
+    assert!(c.touch(b"k", -1).unwrap());
+    assert!(c.get(b"k").unwrap().is_none());
+
+    c.set(b"a", b"1", 0, 0).unwrap();
+    c.set(b"b", b"2", 0, 0).unwrap();
+    assert!(c.delete(b"a").unwrap());
+    assert!(!c.delete(b"a").unwrap());
+    c.flush_all().unwrap();
+    assert!(c.get(b"b").unwrap().is_none());
+    srv.shutdown();
+}
+
+#[test]
+fn stats_reports_server_and_cache_counters() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.set(b"k", b"v", 0, 0).unwrap();
+    c.get(b"k").unwrap();
+    c.get(b"miss").unwrap();
+    let stats: HashMap<String, String> = c.stats().unwrap().into_iter().collect();
+    for key in [
+        "curr_connections",
+        "total_connections",
+        "shed_connections",
+        "protocol_errors",
+        "cmd_get",
+        "get_hits",
+        "get_misses",
+        "cmd_set",
+        "curr_items",
+        "bytes",
+        "evictions",
+        "mean_measured_penalty_us",
+        "slabs_in_use",
+    ] {
+        assert!(stats.contains_key(key), "stats missing {key}");
+    }
+    assert_eq!(stats["get_hits"], "1");
+    assert_eq!(stats["get_misses"], "1");
+    assert_eq!(stats["cmd_set"], "1");
+    assert_eq!(stats["curr_connections"], "1");
+    srv.shutdown();
+}
+
+#[derive(Debug, Clone)]
+enum WireOp {
+    Set { key: u8, len: u16 },
+    Get { key: u8 },
+    Delete { key: u8 },
+}
+
+fn wire_op() -> impl Strategy<Value = WireOp> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u16..1500).prop_map(|(key, len)| WireOp::Set { key, len }),
+        4 => any::<u8>().prop_map(|key| WireOp::Get { key }),
+        1 => any::<u8>().prop_map(|key| WireOp::Delete { key }),
+    ]
+}
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random get/set/delete sequences through the loopback server
+    /// match an in-process oracle: every wire GET that hits returns
+    /// the oracle's bytes and flags, deletes stick, and the server
+    /// survives with zero protocol errors.
+    #[test]
+    fn random_ops_round_trip_against_the_oracle(
+        ops in prop::collection::vec(wire_op(), 1..80)
+    ) {
+        let srv = server();
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        let mut oracle: HashMap<u8, (Vec<u8>, u32)> = HashMap::new();
+        for op in ops {
+            match op {
+                WireOp::Set { key, len } => {
+                    let value = vec![key ^ 0x3C; usize::from(len)];
+                    let reply = c.set(&key_bytes(key), &value, u32::from(key), 0).unwrap();
+                    prop_assert_eq!(reply.as_str(), "STORED");
+                    oracle.insert(key, (value, u32::from(key)));
+                }
+                WireOp::Get { key } => {
+                    if let Some(got) = c.get(&key_bytes(key)).unwrap() {
+                        let expect = oracle.get(&key);
+                        prop_assert!(expect.is_some(), "key {} returned after delete", key);
+                        let (value, flags) = expect.unwrap();
+                        prop_assert_eq!(&got.value, value);
+                        prop_assert_eq!(got.flags, *flags);
+                    }
+                }
+                WireOp::Delete { key } => {
+                    let existed = c.delete(&key_bytes(key)).unwrap();
+                    let _ = existed; // eviction may beat the delete
+                    oracle.remove(&key);
+                    prop_assert!(c.get(&key_bytes(key)).unwrap().is_none());
+                }
+            }
+        }
+        prop_assert_eq!(srv.stats().protocol_errors, 0);
+        srv.shutdown();
+    }
+}

@@ -10,7 +10,7 @@
 //! cargo run --release --example live_cache
 //! ```
 
-use pama::kv::CacheBuilder;
+use pama::kv::{CacheBuilder, SetOptions};
 use pama::util::hash::hash_u64;
 use pama::util::{Rng, SimDuration, Xoshiro256StarStar};
 use std::time::Duration;
@@ -49,11 +49,15 @@ fn main() {
             // pad values so capacity pressure is real
             let mut padded = value;
             padded.resize(3_000, b'.');
-            cache.set(key.as_bytes(), &padded, Some(SimDuration::from_secs(60)));
+            let _ = cache.set(
+                key.as_bytes(),
+                &padded,
+                &SetOptions::new().ttl(SimDuration::from_secs(60)),
+            );
         }
     }
 
-    let s = cache.stats();
+    let s = cache.report().cache;
     println!("requests        : {}", s.hits + s.misses);
     println!("hit ratio       : {:.1}%", s.hit_ratio() * 100.0);
     println!("items / bytes   : {} / {} KiB", s.items, s.live_bytes >> 10);

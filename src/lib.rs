@@ -6,6 +6,7 @@
 pub use pama_bloom as bloom;
 pub use pama_core as core;
 pub use pama_kv as kv;
+pub use pama_server as server;
 pub use pama_slab as slab;
 pub use pama_trace as trace;
 pub use pama_util as util;
