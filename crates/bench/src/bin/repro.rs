@@ -39,7 +39,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|memory|net|smoke|all> \
+        "usage: repro <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|extended|ablation|presets|chaos|perf|memory|net|obs|smoke|all> \
          [--out DIR] [--threads N] [--scale X] [--seed S] [--smoke]"
     );
     std::process::exit(2);
@@ -100,6 +100,7 @@ fn main() -> ExitCode {
             "perf" => experiments::perf::run(&opts),
             "memory" => experiments::memory::run(&opts),
             "net" => experiments::net::run(&opts),
+            "obs" => experiments::obs::run(&opts),
             "smoke" => experiments::smoke::run(&opts),
             _ => usage(),
         };

@@ -16,6 +16,7 @@
 //! | `perf` | kv GET/SET throughput + hit latency (extension) | [`perf`] |
 //! | `memory` | kv per-item overhead & fragmentation (extension) | [`memory`] |
 //! | `net` | loopback pamad throughput & pipelining (extension) | [`net`] |
+//! | `obs` | metrics-registry consistency & overhead (extension) | [`obs`] |
 //! | `smoke` | 30-second end-to-end sanity run | [`smoke`] |
 
 pub mod ablation;
@@ -28,6 +29,7 @@ pub mod extended;
 pub mod fig1;
 pub mod memory;
 pub mod net;
+pub mod obs;
 pub mod perf;
 pub mod presets;
 pub mod sensitivity;

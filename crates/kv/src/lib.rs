@@ -51,6 +51,7 @@ mod shard;
 mod stats;
 
 pub use options::{CacheError, CacheValue, SetOptions};
+pub use pama_metrics::{BandSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use shard::LivePenaltyProbe;
 pub use stats::{merge_all, CacheReport, CacheStats, Merge, SlabClassReport, SlabReport};
 
@@ -62,6 +63,7 @@ use pama_util::hash::hash_bytes;
 use pama_util::SimDuration;
 use shard::{Shard, ShardCell};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const KEY_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -83,6 +85,7 @@ pub struct CacheBuilder {
     backend: Option<BackendConfig>,
     exclusive_lock: bool,
     heap_storage: bool,
+    metrics: bool,
 }
 
 impl Default for CacheBuilder {
@@ -103,6 +106,7 @@ impl CacheBuilder {
             backend: None,
             exclusive_lock: false,
             heap_storage: false,
+            metrics: false,
         }
     }
 
@@ -156,6 +160,17 @@ impl CacheBuilder {
         self
     }
 
+    /// Attaches a [`MetricsRegistry`] sized to the configured penalty
+    /// bands: per-band hit/miss/penalty-cost/eviction/slab-move
+    /// counters, arena gauges, and sampled hit/miss latency
+    /// histograms, all lock-free. Off by default so the bare hot path
+    /// stays the measurable baseline (`repro obs` compares the two);
+    /// reach the registry afterwards through [`PamaCache::metrics`].
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// Attaches a simulated backend: every miss triggers a fetch whose
     /// (simulated) latency, retries and failures are tracked in
     /// [`CacheStats`], and whose measured latency seeds the key's
@@ -179,9 +194,17 @@ impl CacheBuilder {
         };
         cfg.validate()?;
         self.pama.validate()?;
+        // One registry shared by every shard, its bands mirroring the
+        // config's penalty-band split so `band_of` indices line up.
+        let registry = self.metrics.then(|| {
+            Arc::new(MetricsRegistry::new(
+                cfg.penalty_bands.iter().map(|d| d.as_micros()).collect(),
+            ))
+        });
         let shards = (0..self.shards)
             .map(|i| {
-                let mut shard = Shard::new(cfg.clone(), self.pama.clone(), self.heap_storage);
+                let mut shard = Shard::new(cfg.clone(), self.pama.clone(), self.heap_storage)
+                    .with_metrics(registry.clone());
                 if let Some(b) = &self.backend {
                     let mut b = b.clone();
                     // Decorrelate shard jitter streams; keep schedules.
@@ -190,7 +213,7 @@ impl CacheBuilder {
                         .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
                     shard = shard.with_backend(BackendSim::new(b));
                 }
-                ShardCell::new(shard, self.exclusive_lock)
+                ShardCell::new(shard, self.exclusive_lock, registry.clone())
             })
             .collect();
         Ok(PamaCache {
@@ -199,6 +222,7 @@ impl CacheBuilder {
             epoch: Instant::now(),
             default_ttl: self.default_ttl,
             closed: AtomicBool::new(false),
+            metrics: registry,
         })
     }
 
@@ -225,6 +249,9 @@ pub struct PamaCache {
     /// Set by [`PamaCache::close`]: mutations are refused with
     /// [`CacheError::ShuttingDown`] while reads keep draining.
     closed: AtomicBool,
+    /// Shared observability registry; `None` unless the builder's
+    /// [`CacheBuilder::metrics`] flag was set.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl PamaCache {
@@ -432,12 +459,28 @@ impl PamaCache {
             .map(|cell| cell.slab_report())
             .collect::<Option<Vec<_>>>()
             .and_then(merge_all);
+        // Gauges aggregate across shards, so they are refreshed here —
+        // at reporting cadence, from the merged view — rather than by
+        // each shard racing to publish its own share.
+        if let Some(m) = &self.metrics {
+            m.arena_slabs.set(cache.slabs_in_use);
+            m.arena_free_slots.set(cache.arena_free_slots);
+            m.arena_resident_bytes.set(cache.arena_resident_bytes);
+        }
         CacheReport { cache, slabs }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The observability registry attached at build time, or `None`
+    /// when [`CacheBuilder::metrics`] was off. Snapshot it for
+    /// per-band counters and latency histograms; the same `Arc` can be
+    /// shared with a front end for wire exposition.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Drops every entry in every shard — Memcached `flush_all`.

@@ -28,11 +28,14 @@ use bytes::Bytes;
 use pama_core::config::{CacheConfig, Tick};
 use pama_core::policy::{Pama, PamaConfig, Policy, PolicyEvent};
 use pama_faults::BackendSim;
+use pama_metrics::MetricsRegistry;
 use pama_slab::{SlabArena, SlotRef};
 use pama_trace::penalty::{DEFAULT_PENALTY, PENALTY_CAP};
 use pama_trace::Request;
 use pama_util::{FastMap, SimDuration, SimTime};
 use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Capacity of each shard's deferred-hit ring: the most promotions the
 /// policy can owe between two write-lock events. A full drain of this
@@ -65,6 +68,10 @@ struct Entry {
     expires: Option<SimTime>,
     flags: u32,
     cas: u64,
+    /// Penalty band at insert time. Stable while resident (an item's
+    /// penalty is fixed until overwritten), so the read path can
+    /// attribute hits per band without a second policy-ledger lookup.
+    band: u8,
 }
 
 /// The shard's byte store: a slab arena kept in lockstep with the
@@ -121,6 +128,10 @@ pub(crate) struct Shard {
     /// included — and a successful fetch's latency becomes the key's
     /// penalty estimate (ground truth observed, not probed).
     backend: Option<BackendSim>,
+    /// Shared observability registry (per-band counters, slab-move
+    /// timing). `None` keeps the hot paths free of even the branch's
+    /// atomic traffic — the baseline `repro obs` measures against.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Shard {
@@ -151,11 +162,17 @@ impl Shard {
             cfg,
             serial: 0,
             backend: None,
+            metrics: None,
         }
     }
 
     pub fn with_backend(mut self, backend: BackendSim) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    pub fn with_metrics(mut self, metrics: Option<Arc<MetricsRegistry>>) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -254,6 +271,11 @@ impl Shard {
         match self.entries.get(&h) {
             Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => {
                 let value = self.value_of(e)?;
+                // 1:1 with the caller's aggregate-hit bump, so band
+                // sums always equal the aggregate (repro obs asserts).
+                if let Some(m) = &self.metrics {
+                    m.band(e.band as usize).hits.inc();
+                }
                 Some(CacheValue { value, flags: e.flags, cas: e.cas })
             }
             _ => None,
@@ -294,7 +316,7 @@ impl Shard {
         let tick = self.tick(now);
         match self.entries.get(&h) {
             Some(e) if self.key_matches(e, key) && !Self::expired(e, now) => {
-                let (flags, cas) = (e.flags, e.cas);
+                let (flags, cas, band) = (e.flags, e.cas, e.band);
                 let value = self.value_of(e)?;
                 // Keep the policy's recency bookkeeping in step. The
                 // request's sizes mirror the stored entry.
@@ -302,6 +324,9 @@ impl Shard {
                 let out = self.policy.on_get(&req, tick);
                 debug_assert!(out.hit, "policy lost a stored key");
                 ShardCounters::bump(&c.hits);
+                if let Some(m) = &self.metrics {
+                    m.band(band as usize).hits.inc();
+                }
                 Some(CacheValue { value, flags, cas })
             }
             Some(_) => {
@@ -351,17 +376,28 @@ impl Shard {
                 // regeneration measurement).
                 ShardCounters::bump(&c.backend_failures);
             }
-            return;
+        } else {
+            self.probes.insert(h, Probe { miss_at: now });
+            // Bound the probe table: keep only the freshest half when
+            // oversized (stale probes would be over-cap anyway).
+            if self.probes.len() > 65_536 {
+                let mut keep: Vec<(u64, Probe)> =
+                    self.probes.iter().map(|(&k, &p)| (k, p)).collect();
+                keep.sort_by_key(|(_, p)| std::cmp::Reverse(p.miss_at));
+                keep.truncate(32_768);
+                self.probes = keep.into_iter().collect();
+            }
         }
-        self.probes.insert(h, Probe { miss_at: now });
-        // Bound the probe table: keep only the freshest half when
-        // oversized (stale probes would be over-cap anyway).
-        if self.probes.len() > 65_536 {
-            let mut keep: Vec<(u64, Probe)> =
-                self.probes.iter().map(|(&k, &p)| (k, p)).collect();
-            keep.sort_by_key(|(_, p)| std::cmp::Reverse(p.miss_at));
-            keep.truncate(32_768);
-            self.probes = keep.into_iter().collect();
+        // Attribute the miss to the band of the key's best-known
+        // regeneration penalty (the backend's just-measured latency,
+        // a prior estimate, or the default) and accumulate the
+        // penalty-weighted miss cost — the paper's service-time
+        // integrand. 1:1 with the `misses` bump above.
+        if let Some(m) = &self.metrics {
+            let penalty = self.estimates.get(&h).copied().unwrap_or(DEFAULT_PENALTY);
+            let cells = m.band(self.cfg.band_of(penalty));
+            cells.misses.inc();
+            cells.penalty_cost_us.add(penalty.as_micros());
         }
     }
 
@@ -413,9 +449,16 @@ impl Shard {
                 Some(loc) => {
                     ShardCounters::bump(&c.items);
                     ShardCounters::add(&c.live_bytes, item_bytes);
+                    let band = self.cfg.band_of(penalty) as u8;
                     self.entries.insert(
                         h,
-                        Entry { loc, expires: ttl.map(|d| now + d), flags, cas: self.serial },
+                        Entry {
+                            loc,
+                            expires: ttl.map(|d| now + d),
+                            flags,
+                            cas: self.serial,
+                            band,
+                        },
                     );
                     self.publish_storage_gauges(c);
                     Ok(())
@@ -539,12 +582,15 @@ impl Shard {
         }
         for e in events {
             match e {
-                PolicyEvent::Evicted { key, .. } => {
+                PolicyEvent::Evicted { key, band, .. } => {
                     if let Some(entry) = self.entries.remove(&key) {
                         ShardCounters::bump(&c.evictions);
                         ShardCounters::sub(&c.items, 1);
                         ShardCounters::sub(&c.live_bytes, self.stored_len(&entry));
                         Self::release(&mut self.storage, &entry);
+                        if let Some(m) = &self.metrics {
+                            m.band(band as usize).evictions.inc();
+                        }
                     } else {
                         debug_assert!(false, "policy evicted a key the store never held");
                     }
@@ -554,10 +600,14 @@ impl Shard {
                         let granted = arena.grant_slab(class as usize);
                         debug_assert!(granted.is_ok(), "slab grant drifted: {granted:?}");
                     }
+                    if let Some(m) = &self.metrics {
+                        m.slab_grants.inc();
+                    }
                 }
-                PolicyEvent::SlabMoved { src_class, dst_class, .. } => {
+                PolicyEvent::SlabMoved { src_class, src_band, dst_class } => {
                     if let Storage::Arena(arena) = &mut self.storage {
                         let entries = &mut self.entries;
+                        let t0 = self.metrics.is_some().then(Instant::now);
                         let moved = arena.transfer_slab(
                             src_class as usize,
                             dst_class as usize,
@@ -572,6 +622,12 @@ impl Shard {
                             },
                         );
                         debug_assert!(moved.is_ok(), "slab transfer drifted: {moved:?}");
+                        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+                            m.slab_move_us.record(t0.elapsed().as_micros() as u64);
+                        }
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.band(src_band as usize).slab_moves.inc();
                     }
                 }
             }
@@ -752,15 +808,19 @@ pub(crate) struct ShardCell {
     /// through the write lock with inline promotion, reproducing the
     /// pre-concurrency exclusive-Mutex design.
     exclusive: bool,
+    /// Observability registry shared by every shard of the cache.
+    /// `None` keeps the hot path free of even the sampling branch.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ShardCell {
-    pub fn new(shard: Shard, exclusive: bool) -> Self {
+    pub fn new(shard: Shard, exclusive: bool, metrics: Option<Arc<MetricsRegistry>>) -> Self {
         Self {
             inner: RwLock::new(shard),
             log: AccessLog::new(ACCESS_LOG_CAPACITY),
             counters: ShardCounters::default(),
             exclusive,
+            metrics,
         }
     }
 
@@ -785,6 +845,26 @@ impl ShardCell {
     }
 
     pub fn get(&self, h: u64, key: &[u8], now: SimTime) -> Option<CacheValue> {
+        // Sampled latency timing (1 op in `LATENCY_SAMPLE`): two clock
+        // reads per sampled op keep the measured overhead well inside
+        // the <5% budget `repro obs` enforces.
+        let timer = self
+            .metrics
+            .as_deref()
+            .filter(|m| m.sample_latency(h))
+            .map(|m| (m, Instant::now()));
+        let result = self.get_inner(h, key, now);
+        if let Some((m, t0)) = timer {
+            let us = t0.elapsed().as_micros() as u64;
+            match &result {
+                Some(_) => m.hit_latency_us.record(us),
+                None => m.miss_latency_us.record(us),
+            }
+        }
+        result
+    }
+
+    fn get_inner(&self, h: u64, key: &[u8], now: SimTime) -> Option<CacheValue> {
         if !self.exclusive {
             let shard = self.inner.read();
             if let Some(value) = shard.read_hit(h, key, now) {

@@ -221,7 +221,17 @@ impl Client {
 
     /// `stats` → the `STAT name value` pairs.
     pub fn stats(&mut self) -> io::Result<Vec<(String, String)>> {
-        self.send_raw(b"stats\r\n")?;
+        self.stats_of(None)
+    }
+
+    /// `stats <arg>` (or plain `stats` when `arg` is `None`) → the
+    /// `STAT name value` pairs. The value is the rest of the line, so
+    /// multi-field payloads like `stats bands` lines survive intact.
+    pub fn stats_of(&mut self, arg: Option<&str>) -> io::Result<Vec<(String, String)>> {
+        match arg {
+            Some(a) => self.send_raw(format!("stats {a}\r\n").as_bytes())?,
+            None => self.send_raw(b"stats\r\n")?,
+        }
         let mut out = Vec::new();
         loop {
             let line = self.read_line()?;

@@ -218,6 +218,8 @@ fn execute(shared: &Shared, cmd: Command, out: &mut Vec<u8>) {
             );
         }
         Command::Stats => emit_stats(shared, out),
+        Command::StatsMetrics => emit_stats_metrics(shared, out),
+        Command::StatsBands => emit_stats_bands(shared, out),
     }
 }
 
@@ -243,11 +245,17 @@ fn emit_stats(shared: &Shared, out: &mut Vec<u8>) {
     stat("get_hits", c.hits.to_string());
     stat("get_misses", c.misses.to_string());
     stat("cmd_set", c.sets.to_string());
+    stat("cmd_delete", c.deletes.to_string());
     stat("curr_items", c.items.to_string());
     stat("bytes", c.live_bytes.to_string());
     stat("evictions", c.evictions.to_string());
     stat("expired", c.expired.to_string());
     stat("rejected", c.rejected.to_string());
+    // Bounded-staleness recency bookkeeping (see DESIGN.md §6): how
+    // many GET hits were promoted via the deferred log, and how many
+    // the ring dropped because it filled between write-lock events.
+    stat("deferred_hits", c.deferred_hits.to_string());
+    stat("deferred_dropped", c.deferred_dropped.to_string());
     // Penalty-aware extensions: what makes this PAMA and not LRU.
     stat("measured_penalties", c.measured_penalties.to_string());
     stat("mean_measured_penalty_us", format!("{:.1}", c.mean_measured_penalty_us));
@@ -258,7 +266,44 @@ fn emit_stats(shared: &Shared, out: &mut Vec<u8>) {
     if let Some(s) = &report.slabs {
         stat("slabs_in_use", s.slabs.to_string());
         stat("slab_free_slots", s.free_slots.to_string());
+        stat("arena_resident_bytes", s.resident_bytes.to_string());
+        stat("arena_slot_bytes", s.slot_bytes.to_string());
+        stat("arena_meta_bytes", s.meta_bytes.to_string());
         stat("internal_frag_bytes", s.internal_frag_bytes().to_string());
+        stat("slab_transfers", s.transfers.to_string());
+        stat("slot_moves", s.slot_moves.to_string());
+        // Per-slab fill-ratio histogram, comma-joined so the value
+        // stays a single `STAT name value` token.
+        let deciles =
+            s.occupancy_deciles.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        stat("slab_occupancy_deciles", deciles);
+    }
+    out.extend_from_slice(b"END\r\n");
+}
+
+/// `stats metrics`: every observability-registry metric as a `STAT
+/// name value` line. Names carry Prometheus-style `{label="…"}`
+/// suffixes and contain no spaces, so they survive the framing — the
+/// same lines `pamactl metrics` re-renders as an exposition document.
+fn emit_stats_metrics(shared: &Shared, out: &mut Vec<u8>) {
+    if let Some(m) = shared.cache.metrics() {
+        // `report()` refreshes the arena gauges from the merged view.
+        let _ = shared.cache.report();
+        for (name, value) in m.snapshot().prometheus_lines() {
+            out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+        }
+    }
+    out.extend_from_slice(b"END\r\n");
+}
+
+/// `stats bands`: one `STAT band_<i> …` line per penalty band, in the
+/// `BandSnapshot::render` format (`lo_us=… hi_us=… hits=… misses=…
+/// penalty_cost_us=… evictions=… slab_moves=…`).
+fn emit_stats_bands(shared: &Shared, out: &mut Vec<u8>) {
+    if let Some(m) = shared.cache.metrics() {
+        for (i, band) in m.snapshot().bands.iter().enumerate() {
+            out.extend_from_slice(format!("STAT band_{i} {}\r\n", band.render()).as_bytes());
+        }
     }
     out.extend_from_slice(b"END\r\n");
 }

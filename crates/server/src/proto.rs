@@ -71,6 +71,12 @@ pub enum Command {
     },
     /// Server + cache counters.
     Stats,
+    /// Prometheus-style metric lines from the observability registry
+    /// (`stats metrics`).
+    StatsMetrics,
+    /// One line per penalty band — hits, misses, penalty-weighted miss
+    /// cost, evictions, slab moves (`stats bands`).
+    StatsBands,
     /// Drop every item.
     FlushAll {
         /// Suppress the response line.
@@ -214,6 +220,14 @@ impl Parser {
                 }
             }
             b"stats" if toks.len() == 1 => Step::Cmd { cmd: Command::Stats, consumed },
+            b"stats" if toks.len() == 2 && toks[1] == b"metrics" => {
+                Step::Cmd { cmd: Command::StatsMetrics, consumed }
+            }
+            b"stats" if toks.len() == 2 && toks[1] == b"bands" => {
+                Step::Cmd { cmd: Command::StatsBands, consumed }
+            }
+            // Unknown stats sub-argument: non-fatal, like an unknown verb.
+            b"stats" => bad("ERROR", consumed, false),
             b"flush_all" => {
                 // Optional numeric delay accepted and ignored (we
                 // flush immediately), matching common client libs.
@@ -436,5 +450,17 @@ mod tests {
             one(b"delete k noreply\r\n"),
             Step::Cmd { cmd: Command::Delete { noreply: true, .. }, .. }
         ));
+    }
+
+    #[test]
+    fn stats_subcommands_parse() {
+        assert!(matches!(
+            one(b"stats metrics\r\n"),
+            Step::Cmd { cmd: Command::StatsMetrics, .. }
+        ));
+        assert!(matches!(one(b"stats bands\r\n"), Step::Cmd { cmd: Command::StatsBands, .. }));
+        // Unknown sub-argument errors without killing the connection.
+        assert!(matches!(one(b"stats nonsense\r\n"), Step::Bad { fatal: false, .. }));
+        assert!(matches!(one(b"stats bands extra\r\n"), Step::Bad { fatal: false, .. }));
     }
 }

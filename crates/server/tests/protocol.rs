@@ -3,7 +3,7 @@
 //! and a property test racing the server against an in-process
 //! oracle.
 
-use pama_kv::{CacheBuilder, PamaCache};
+use pama_kv::{BandSnapshot, CacheBuilder, PamaCache};
 use pama_server::client::Client;
 use pama_server::{Server, ServerConfig};
 use proptest::prelude::*;
@@ -260,6 +260,149 @@ fn stats_reports_server_and_cache_counters() {
     assert_eq!(stats["get_misses"], "1");
     assert_eq!(stats["cmd_set"], "1");
     assert_eq!(stats["curr_connections"], "1");
+    srv.shutdown();
+}
+
+#[test]
+fn stats_reports_every_arena_and_deferred_field() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.set(b"k", b"v", 0, 0).unwrap();
+    c.delete(b"k").unwrap();
+    let stats: HashMap<String, String> = c.stats().unwrap().into_iter().collect();
+    // The audit fields: nothing the merged CacheReport knows may be
+    // silently dropped from the wire exposition.
+    for key in [
+        "cmd_delete",
+        "deferred_hits",
+        "deferred_dropped",
+        "arena_resident_bytes",
+        "arena_slot_bytes",
+        "arena_meta_bytes",
+        "internal_frag_bytes",
+        "slab_transfers",
+        "slot_moves",
+        "slab_occupancy_deciles",
+    ] {
+        assert!(stats.contains_key(key), "stats missing {key}");
+    }
+    assert_eq!(stats["cmd_delete"], "1");
+    assert_eq!(
+        stats["slab_occupancy_deciles"].split(',').count(),
+        10,
+        "occupancy histogram must carry all ten deciles"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn stats_lines_arrive_in_deterministic_order() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let first: Vec<String> = c.stats().unwrap().into_iter().map(|(k, _)| k).collect();
+    let second: Vec<String> = c.stats().unwrap().into_iter().map(|(k, _)| k).collect();
+    assert_eq!(first, second, "STAT line order must be stable across calls");
+    srv.shutdown();
+}
+
+fn metrics_server() -> (Arc<PamaCache>, Server) {
+    let cache = Arc::new(
+        CacheBuilder::new()
+            .total_bytes(8 << 20)
+            .slab_bytes(64 << 10)
+            .shards(2)
+            .metrics(true)
+            .build(),
+    );
+    let srv = Server::bind(cache.clone(), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    (cache, srv)
+}
+
+#[test]
+fn stats_bands_renders_one_line_per_paper_band() {
+    let (cache, srv) = metrics_server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.set(b"k", b"v", 0, 0).unwrap();
+    c.get(b"k").unwrap();
+    c.get(b"ghost").unwrap();
+
+    let lines = c.stats_of(Some("bands")).unwrap();
+    assert_eq!(lines.len(), 5, "paper five-band split: one line per band");
+    let mut wire_hits = 0;
+    let mut wire_misses = 0;
+    for (i, (name, value)) in lines.iter().enumerate() {
+        assert_eq!(name, &format!("band_{i}"));
+        let band = BandSnapshot::parse(value)
+            .unwrap_or_else(|| panic!("unparseable band line: {value:?}"));
+        wire_hits += band.hits;
+        wire_misses += band.misses;
+    }
+    // The wire view equals the in-process registry, and per-band sums
+    // equal the aggregate counters.
+    let snap = cache.metrics().expect("registry attached").snapshot();
+    assert_eq!(wire_hits, snap.total_hits());
+    assert_eq!(wire_misses, snap.total_misses());
+    let report = cache.report();
+    assert_eq!(wire_hits, report.cache.hits);
+    assert_eq!(wire_misses, report.cache.misses);
+    srv.shutdown();
+}
+
+#[test]
+fn stats_metrics_exposes_labelled_prometheus_families() {
+    let (_cache, srv) = metrics_server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    c.set(b"k", b"v", 0, 0).unwrap();
+    c.get(b"k").unwrap();
+    let pairs = c.stats_of(Some("metrics")).unwrap();
+    assert!(!pairs.is_empty());
+    for family in [
+        "pama_band_hits_total",
+        "pama_band_misses_total",
+        "pama_band_penalty_cost_us_total",
+        "pama_slab_grants_total",
+        "pama_arena_resident_bytes",
+        "pama_hit_latency_us_count",
+    ] {
+        assert!(
+            pairs.iter().any(|(name, _)| name.starts_with(family)),
+            "stats metrics missing family {family}"
+        );
+    }
+    // Labels ride inside the name token, so every value is one token.
+    for (name, value) in &pairs {
+        assert!(!name.contains(' '), "metric name {name:?} would break STAT framing");
+        assert!(!value.contains(' '), "metric value {value:?} would break STAT framing");
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn stats_without_metrics_registry_yields_bare_end() {
+    // The default test server has no registry: both subcommands must
+    // answer an empty (but well-formed) response, not an error.
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    assert!(c.stats_of(Some("metrics")).unwrap().is_empty());
+    assert!(c.stats_of(Some("bands")).unwrap().is_empty());
+    assert!(c.version().unwrap().starts_with("pama-"), "connection survives");
+    srv.shutdown();
+}
+
+#[test]
+fn negative_exptime_stores_are_immediately_expired() {
+    let srv = server();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    // Memcached semantics: a negative exptime means "expire now" — the
+    // item must never be served back, on set, add, or touch.
+    assert_eq!(c.set(b"dead", b"v", 0, -1).unwrap(), "STORED");
+    assert!(c.get(b"dead").unwrap().is_none(), "negative-exptime set served live");
+    assert_eq!(c.add(b"dead2", b"v", 0, -30).unwrap(), "STORED");
+    assert!(c.get(b"dead2").unwrap().is_none(), "negative-exptime add served live");
+    c.set(b"alive", b"v", 0, 0).unwrap();
+    assert!(c.touch(b"alive", -1).unwrap());
+    assert!(c.get(b"alive").unwrap().is_none(), "negative-exptime touch served live");
     srv.shutdown();
 }
 

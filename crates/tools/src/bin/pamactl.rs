@@ -10,6 +10,7 @@
 //! pamactl convert etc.trace etc.jsonl
 //! pamactl serve --listen 127.0.0.1:11211 --memory-mb 64
 //! pamactl ping  --addr 127.0.0.1:11211
+//! pamactl metrics --addr 127.0.0.1:11211
 //! ```
 //!
 //! Traces use the compact binary format by default; any path ending in
@@ -42,11 +43,13 @@ USAGE:
   pamactl serve [--listen ADDR] [--memory-mb N] [--slab-kb N] [--shards N]
                 [--max-conns N] [--timeout-ms N] [--backend on] [--faults SPEC]
   pamactl ping  [--addr ADDR]
+  pamactl metrics [--addr ADDR]
 
 policies: memcached, psa, psa-unguarded, pre-pama, pama, facebook, twemcache, lama, global-lru
 Paths ending in .jsonl use the JSON-lines codec; everything else the binary codec.
 serve speaks the Memcached ASCII protocol (same engine as pamad) until stdin
-closes; ping checks a running server answers `version`."
+closes; ping checks a running server answers `version`; metrics fetches
+`stats metrics` and prints it as a Prometheus-style text exposition."
     );
     std::process::exit(2);
 }
@@ -244,6 +247,38 @@ fn cmd_ping(args: &Args) {
     }
 }
 
+/// Fetches `stats metrics` from a running server and re-renders the
+/// `STAT name value` pairs as a Prometheus-style exposition document,
+/// with `# HELP` / `# TYPE` headers rebuilt per metric family.
+fn cmd_metrics(args: &Args) {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:11211");
+    let pairs =
+        pama_server::client::Client::connect_timeout(addr, std::time::Duration::from_secs(2))
+            .and_then(|mut c| c.stats_of(Some("metrics")));
+    let pairs = match pairs {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("metrics {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if pairs.is_empty() {
+        eprintln!("metrics {addr}: server exposes no metrics registry");
+        std::process::exit(1);
+    }
+    let mut described: Vec<String> = Vec::new();
+    for (name, value) in &pairs {
+        let family = pama_metrics::family_of(name).to_string();
+        if !described.iter().any(|f| *f == family) {
+            described.push(family.clone());
+            if let Some((help, kind)) = pama_metrics::describe_family(&family) {
+                println!("# HELP {family} {help}\n# TYPE {family} {kind}");
+            }
+        }
+        println!("{name} {value}");
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -261,6 +296,7 @@ fn main() -> ExitCode {
         Some("convert") => cmd_convert(&args),
         Some("serve") => cmd_serve(&args),
         Some("ping") => cmd_ping(&args),
+        Some("metrics") => cmd_metrics(&args),
         _ => usage(),
     }
     ExitCode::SUCCESS

@@ -233,6 +233,26 @@ mod tests {
     }
 
     #[test]
+    fn linear_top_edge_clamps_into_the_last_bucket() {
+        // Regression guard: a sample exactly equal to `hi` maps to the
+        // raw index `n` ((hi-lo)/(hi-lo) * n); without the clamp that
+        // is one past the end of the counts array. Same for any float
+        // whose scaled index rounds to `n`.
+        let mut h = LinearHistogram::new(0.0, 10.0, 10);
+        h.record(10.0); // exactly hi
+        h.record(10.0 - f64::EPSILON); // just under hi
+        h.record(1e9); // far above hi
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[9], 3, "top-edge samples must land in the last bucket");
+        // And the bottom edge stays exact: lo itself is bucket 0.
+        let mut h = LinearHistogram::new(-5.0, 5.0, 4);
+        h.record(-5.0);
+        h.record(0.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[2], 1);
+    }
+
+    #[test]
     fn linear_quantiles() {
         let mut h = LinearHistogram::new(0.0, 100.0, 100);
         for i in 0..100 {
